@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at reduced
+scale (shorter durations, coarser tick) and asserts the *shape* of the
+paper's result — who wins, in which direction, where the crossover lies —
+rather than absolute numbers.  Each experiment is executed exactly once per
+benchmark (``rounds=1``): the interesting measurement is the experiment's
+outcome, with wall-clock time reported by pytest-benchmark as a bonus.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow running the benchmarks from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Simulation tick used across benchmarks: coarse enough to be quick, fine
+#: enough for 5 Hz pulses and 50 ms RTTs.
+BENCH_DT = 0.004
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

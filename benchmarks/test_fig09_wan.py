@@ -1,0 +1,22 @@
+"""Figure 9: against WAN cross traffic Nimbus matches Cubic's throughput at a
+much lower RTT, while Vegas loses throughput."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import fig09_wan
+
+
+def test_fig09_wan(benchmark):
+    result = run_once(benchmark, fig09_wan.run,
+                      schemes=("nimbus", "cubic", "vegas"), duration=45.0,
+                      dt=BENCH_DT)
+    nimbus = result.schemes["nimbus"]
+    cubic = result.schemes["cubic"]
+    vegas = result.schemes["vegas"]
+    # Throughput: Nimbus comparable to Cubic; Vegas below both.
+    assert nimbus.summary.mean_throughput_mbps > \
+        0.7 * cubic.summary.mean_throughput_mbps
+    assert vegas.summary.mean_throughput_mbps < \
+        nimbus.summary.mean_throughput_mbps
+    # Delay: Nimbus clearly below Cubic, in the direction of Vegas.
+    assert nimbus.extra["queue"]["mean"] < 0.8 * cubic.extra["queue"]["mean"]

@@ -1,0 +1,13 @@
+"""Figure 12: the elasticity metric tracks the true elastic byte fraction of
+WAN cross traffic; overall mode accuracy is high."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import fig12_eta_tracking
+
+
+def test_fig12_eta_tracking(benchmark):
+    result = run_once(benchmark, fig12_eta_tracking.run, duration=60.0,
+                      truth_threshold=0.5, dt=BENCH_DT)
+    assert result.data["accuracy"] > 0.5
+    assert len(result.data["eta_values"]) > 100

@@ -1,0 +1,23 @@
+"""Figure 13: Nimbus keeps its delay advantage over Cubic at 50% and 90%
+cross-traffic load without giving up throughput."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import fig13_load
+
+
+def test_fig13_load(benchmark):
+    result = run_once(benchmark, fig13_load.run, loads=(0.5, 0.9),
+                      pulse_sizes=(0.25,), baselines=("cubic",),
+                      duration=40.0, dt=BENCH_DT)
+    s = result.schemes
+    for load in (50, 90):
+        nimbus = s[f"nimbus0.25@load{load}"]
+        cubic = s[f"cubic@load{load}"]
+        assert nimbus.summary.mean_throughput_mbps > \
+            0.6 * cubic.summary.mean_throughput_mbps
+        assert nimbus.extra["queue"]["mean"] <= \
+            cubic.extra["queue"]["mean"] + 5.0
+    # Delay benefit is most pronounced at the lower load.
+    assert s["nimbus0.25@load50"].extra["queue"]["mean"] < \
+        0.85 * s["cubic@load50"].extra["queue"]["mean"]

@@ -1,0 +1,18 @@
+"""Figure 17: several Nimbus flows take their aggregate fair share against
+elastic cross traffic and keep delays low against inelastic cross traffic."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import fig17_multiflow_cross
+
+
+def test_fig17_multiflow_cross(benchmark):
+    result = run_once(benchmark, fig17_multiflow_cross.run, n_flows=3,
+                      phase_duration=40.0, warmup=20.0, dt=BENCH_DT)
+    data = result.data
+    # Aggregate throughput within a factor of ~2 of the fair share in the
+    # elastic phase, and at least the spare capacity in the inelastic phase.
+    assert data["aggregate_elastic_mean"] > 0.5 * data["fair_share_elastic_mbps"]
+    assert data["aggregate_inelastic_mean"] > 0.6 * data["fair_share_inelastic_mbps"]
+    # Delays drop when the cross traffic becomes inelastic.
+    assert data["delay_inelastic_mean_ms"] < data["delay_elastic_mean_ms"]

@@ -1,0 +1,18 @@
+"""Figure 22 / Appendix C: competing against BBR, Nimbus's throughput tracks
+Cubic's across buffer sizes."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import fig22_bbr_compete
+
+
+def test_fig22_bbr_compete(benchmark):
+    result = run_once(benchmark, fig22_bbr_compete.run,
+                      buffer_bdp_multipliers=(2.0, 4.0), duration=40.0,
+                      dt=BENCH_DT)
+    throughput = result.data["throughput"]
+    for multiplier, per_scheme in throughput.items():
+        nimbus, cubic = per_scheme["nimbus"], per_scheme["cubic"]
+        # Same ballpark as Cubic for every buffer size (the paper's claim).
+        assert nimbus > 0.4 * cubic
+        assert nimbus < 2.5 * max(cubic, 1e-9)

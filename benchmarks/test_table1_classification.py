@@ -1,0 +1,23 @@
+"""Table 1: the detector classifies ACK-clocked protocols as elastic and
+application-limited / constant-rate / slow-reacting traffic as inelastic."""
+
+from conftest import BENCH_DT, run_once
+
+from repro.experiments import table1_classification
+
+
+def test_table1_classification(benchmark):
+    classes = ("cubic", "reno", "vegas", "fixed-window", "app-limited",
+               "constant-stream", "pcc-vivace")
+    result = run_once(benchmark, table1_classification.run,
+                      traffic_classes=classes, duration=35.0, dt=BENCH_DT)
+    rows = result.data["rows"]
+    # The headline rows of Table 1: loss-based ACK-clocked traffic is
+    # elastic; application-limited and constant streams are inelastic.
+    assert rows["cubic"]["classification"] == "elastic"
+    assert rows["reno"]["classification"] == "elastic"
+    assert rows["constant-stream"]["classification"] == "inelastic"
+    assert rows["pcc-vivace"]["classification"] == "inelastic"
+    # Overall: at least 5 of the 7 rows match the paper's table.
+    correct = sum(1 for r in rows.values() if r["correct"])
+    assert correct >= 5

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Multiple Nimbus flows sharing one bottleneck (the Figure 16 scenario).
+
+Three Nimbus flows with the multi-flow pulser/watcher protocol enabled
+arrive at a 96 Mbit/s link staggered in time.  The script reports each
+flow's throughput, Jain's fairness index, how much of the time the flows
+stayed in delay mode, and how many concurrent pulsers were observed.
+
+Run with:  python examples/multiple_nimbus_flows.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig16_multiflow
+
+
+def main() -> None:
+    print("Running three staggered Nimbus flows (multi-flow protocol)...\n")
+    result = fig16_multiflow.run(n_flows=3, stagger=15.0, flow_duration=50.0,
+                                 dt=0.004)
+    data = result.data
+    for i, rate in enumerate(data["rates_mbps"]):
+        print(f"  nimbus{i}: {rate:6.1f} Mbit/s "
+              f"(delay-mode fraction {data['delay_mode_fraction'][i]:.0%})")
+    print()
+    print(f"Jain fairness index           : {data['jain_fairness']:.3f}")
+    print(f"Mean concurrent pulsers       : {data['mean_pulsers']:.2f}")
+    print(f"Max concurrent pulsers        : {data['max_concurrent_pulsers']}")
+    print(f"Mean bottleneck queueing delay: {data['queue']['mean']:.1f} ms")
+    print("\nWith no elastic cross traffic the flows coordinate implicitly:")
+    print("one pulser probes the link while the watchers copy its mode, so")
+    print("the group shares the link fairly and keeps the queue short.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro: a reproduction of "Elasticity Detection: A Building Block for
+Internet Congestion Control" (Nimbus).
+
+The package is organised as:
+
+* :mod:`repro.simulator` — a fluid-chunk network simulator (the Mahimahi /
+  Linux-datapath substitute): bottleneck link, queueing policies, transport
+  endpoints, measurement, tracing.
+* :mod:`repro.cc` — the congestion-control algorithm zoo the paper runs and
+  competes against (Cubic, NewReno, Vegas, Copa, BBR, PCC-Vivace, Compound,
+  BasicDelay, and inelastic reference senders).
+* :mod:`repro.core` — the paper's contribution: the cross-traffic rate
+  estimator, sinusoidal pulse shapes, the FFT elasticity detector, the
+  Nimbus mode-switching controller, and multi-flow pulser/watcher
+  coordination.
+* :mod:`repro.traffic` — workload generators (Poisson/CBR, heavy-tailed WAN
+  flow arrivals, DASH video, scripted time-varying mixes).
+* :mod:`repro.analysis` — metrics, classification accuracy, and FCT
+  summaries.
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro import quick_network, Nimbus, Flow
+    from repro.simulator import mbps_to_bytes_per_sec
+
+    mu = mbps_to_bytes_per_sec(48)
+    net, link = quick_network(link_mbps=48, buffer_ms=100)
+    net.add_flow(Flow(cc=Nimbus(mu=mu), prop_rtt=0.05, name="nimbus"))
+    net.run(30.0)
+    print(net.recorder.mean_throughput("nimbus"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .cc import (
+    BasicDelay,
+    Bbr,
+    Compound,
+    Copa,
+    Cubic,
+    NewReno,
+    Vegas,
+    Vivace,
+)
+from .core import ElasticityDetector, Nimbus, elasticity_metric
+from .simulator import (
+    BottleneckLink,
+    DropTail,
+    Flow,
+    Network,
+    Pie,
+    mbps_to_bytes_per_sec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicDelay",
+    "Bbr",
+    "BottleneckLink",
+    "Compound",
+    "Copa",
+    "Cubic",
+    "DropTail",
+    "ElasticityDetector",
+    "Flow",
+    "Network",
+    "NewReno",
+    "Nimbus",
+    "Pie",
+    "Vegas",
+    "Vivace",
+    "elasticity_metric",
+    "mbps_to_bytes_per_sec",
+    "quick_network",
+    "__version__",
+]
+
+
+def quick_network(link_mbps: float = 96.0, buffer_ms: float = 100.0,
+                  dt: float = 0.002, seed: int = 0,
+                  aqm: Optional[object] = None
+                  ) -> Tuple[Network, BottleneckLink]:
+    """Build a single-bottleneck network with a drop-tail buffer.
+
+    Args:
+        link_mbps: Bottleneck rate in Mbit/s.
+        buffer_ms: Buffer depth expressed in milliseconds at the link rate.
+        dt: Simulation tick in seconds.
+        seed: Seed for the network's random number generator.
+        aqm: Optional queue policy instance overriding the drop-tail buffer.
+
+    Returns:
+        (network, link) ready to have flows added.
+    """
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    policy = aqm if aqm is not None else DropTail(mu * buffer_ms / 1e3)
+    link = BottleneckLink(capacity=mu, policy=policy)
+    network = Network(link, dt=dt, seed=seed)
+    return network, link

@@ -1,0 +1,37 @@
+"""Analysis utilities: summary metrics, classification accuracy, FCTs."""
+
+from .accuracy import (
+    MODE_COMPETITIVE,
+    MODE_DELAY,
+    AccuracyReport,
+    classification_accuracy,
+    mode_fraction,
+)
+from .fct import DEFAULT_SIZE_BINS, FctBin, bin_label, fct_by_size, normalized_p95
+from .metrics import (
+    ThroughputDelaySummary,
+    cdf,
+    jain_fairness,
+    percentile,
+    rate_cdf_over_intervals,
+    summarize_flow,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "DEFAULT_SIZE_BINS",
+    "FctBin",
+    "MODE_COMPETITIVE",
+    "MODE_DELAY",
+    "ThroughputDelaySummary",
+    "bin_label",
+    "cdf",
+    "classification_accuracy",
+    "fct_by_size",
+    "jain_fairness",
+    "mode_fraction",
+    "normalized_p95",
+    "percentile",
+    "rate_cdf_over_intervals",
+    "summarize_flow",
+]

@@ -1,0 +1,36 @@
+"""Congestion-control algorithm zoo.
+
+Every scheme the paper runs or competes against is implemented behind the
+common :class:`~repro.cc.base.CongestionControl` interface so experiments
+can mix and match them freely.
+"""
+
+from .base import CongestionControl, NullCC
+from .basic_delay import BasicDelay
+from .bbr import Bbr
+from .compound import Compound
+from .copa import MODE_COMPETITIVE, MODE_DELAY, Copa
+from .cubic import Cubic
+from .misc import AppLimited, ConstantRate, FixedWindow
+from .reno import NewReno, Reno
+from .vegas import Vegas
+from .vivace import Vivace
+
+__all__ = [
+    "AppLimited",
+    "BasicDelay",
+    "Bbr",
+    "Compound",
+    "CongestionControl",
+    "ConstantRate",
+    "Copa",
+    "Cubic",
+    "FixedWindow",
+    "MODE_COMPETITIVE",
+    "MODE_DELAY",
+    "NewReno",
+    "NullCC",
+    "Reno",
+    "Vegas",
+    "Vivace",
+]

@@ -1,0 +1,50 @@
+"""The paper's contribution: cross-traffic estimation, elasticity detection,
+and the Nimbus mode-switching congestion controller.
+"""
+
+from .elasticity import (
+    DetectionResult,
+    ElasticityDetector,
+    PulserDetector,
+    cross_correlation_detector,
+    elasticity_metric,
+    fft_magnitude,
+)
+from .estimator import CrossTrafficEstimator, estimate_cross_traffic
+from .multiflow import (
+    ROLE_PULSER,
+    ROLE_WATCHER,
+    PulserElection,
+    WatcherRateFilter,
+)
+from .nimbus import MODE_COMPETITIVE, MODE_DELAY, Nimbus
+from .pulses import (
+    AsymmetricSinusoidPulse,
+    NoPulse,
+    PulseShape,
+    SquareWavePulse,
+    SymmetricSinusoidPulse,
+)
+
+__all__ = [
+    "AsymmetricSinusoidPulse",
+    "CrossTrafficEstimator",
+    "DetectionResult",
+    "ElasticityDetector",
+    "MODE_COMPETITIVE",
+    "MODE_DELAY",
+    "Nimbus",
+    "NoPulse",
+    "PulseShape",
+    "PulserDetector",
+    "PulserElection",
+    "ROLE_PULSER",
+    "ROLE_WATCHER",
+    "SquareWavePulse",
+    "SymmetricSinusoidPulse",
+    "WatcherRateFilter",
+    "cross_correlation_detector",
+    "elasticity_metric",
+    "estimate_cross_traffic",
+    "fft_magnitude",
+]

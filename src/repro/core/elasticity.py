@@ -1,0 +1,229 @@
+"""Elasticity detection from the frequency response of cross traffic
+(§3.2–§3.4 of the paper).
+
+The detector takes the sampled cross-traffic rate estimate ``z(t)`` over the
+last FFT window (5 seconds by default), computes its discrete Fourier
+transform, and forms the elasticity metric::
+
+    eta = |FFT_z(fp)| / max_{f in (fp, 2*fp)} |FFT_z(f)|        (Eq. 3)
+
+Elastic (ACK-clocked) cross traffic oscillates at the pulse frequency
+``fp``, producing a pronounced peak at ``fp`` relative to the neighbouring
+band, so ``eta`` is large; inelastic traffic spreads its energy across
+frequencies and ``eta`` stays near 1.  Traffic is classified elastic when
+``eta >= eta_thresh`` (2 by default).
+
+The same machinery is reused by watcher flows (§6) to detect whether a
+pulser is active, and at which of the two agreed frequencies it is pulsing,
+by examining the FFT of their own receive rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default pulse frequency (Hz).
+DEFAULT_PULSE_FREQUENCY = 5.0
+#: Default FFT window (seconds).
+DEFAULT_FFT_DURATION = 5.0
+#: Default elasticity threshold.
+DEFAULT_THRESHOLD = 2.0
+
+
+def fft_magnitude(samples: Sequence[float], sample_interval: float
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (frequencies, magnitudes) of the one-sided FFT of ``samples``.
+
+    The mean is removed first so the DC component does not dominate, and the
+    magnitudes are normalised by the number of samples so that a sinusoid of
+    amplitude ``a`` appears with magnitude ``~a/2`` regardless of window
+    length (the absolute scale cancels in the elasticity ratio anyway).
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size < 4:
+        return np.array([]), np.array([])
+    x = x - x.mean()
+    spectrum = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(x.size, d=sample_interval)
+    mags = np.abs(spectrum) / x.size
+    return freqs, mags
+
+
+def band_peak(freqs: np.ndarray, mags: np.ndarray, low: float, high: float,
+              include_low: bool = False, include_high: bool = False) -> float:
+    """Largest magnitude with frequency in the interval (low, high).
+
+    Endpoint inclusion is configurable; the elasticity metric excludes both
+    endpoints (the pulse frequency itself and its first harmonic).
+    """
+    if freqs.size == 0:
+        return 0.0
+    lo = freqs >= low if include_low else freqs > low
+    hi = freqs <= high if include_high else freqs < high
+    mask = lo & hi
+    if not mask.any():
+        return 0.0
+    return float(mags[mask].max())
+
+
+def magnitude_at(freqs: np.ndarray, mags: np.ndarray, frequency: float
+                 ) -> float:
+    """Magnitude of the FFT bin closest to ``frequency``."""
+    if freqs.size == 0:
+        return 0.0
+    idx = int(np.argmin(np.abs(freqs - frequency)))
+    return float(mags[idx])
+
+
+def elasticity_metric(samples: Sequence[float], sample_interval: float,
+                      pulse_frequency: float = DEFAULT_PULSE_FREQUENCY
+                      ) -> float:
+    """Compute eta (Eq. 3) from a z(t) sample series.
+
+    Returns 0.0 when there are not enough samples to resolve the pulse
+    frequency (less than roughly two pulse periods of data).
+    """
+    x = np.asarray(samples, dtype=float)
+    min_samples = max(8, int(round(2.0 / (pulse_frequency * sample_interval))))
+    if x.size < min_samples:
+        return 0.0
+    freqs, mags = fft_magnitude(x, sample_interval)
+    peak_at_fp = magnitude_at(freqs, mags, pulse_frequency)
+    # Exclude the fp bin itself (and a guard bin either side) from the
+    # comparison band so spectral leakage from the peak does not count
+    # against it.
+    resolution = freqs[1] - freqs[0] if freqs.size > 1 else sample_interval
+    competitor = band_peak(freqs, mags,
+                           pulse_frequency + 1.5 * resolution,
+                           2.0 * pulse_frequency - 0.5 * resolution)
+    if competitor <= 0.0:
+        return float("inf") if peak_at_fp > 0 else 0.0
+    return peak_at_fp / competitor
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one elasticity evaluation."""
+
+    eta: float
+    elastic: bool
+    pulse_frequency: float
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self.elastic
+
+
+class ElasticityDetector:
+    """Stateful wrapper: classify a z(t) series as elastic or inelastic.
+
+    Args:
+        sample_interval: Spacing of the z samples in seconds.
+        pulse_frequency: The frequency fp at which the sender pulses.
+        fft_duration: Length of the analysis window in seconds.
+        threshold: eta threshold; >= threshold means elastic.
+    """
+
+    def __init__(self, sample_interval: float = 0.01,
+                 pulse_frequency: float = DEFAULT_PULSE_FREQUENCY,
+                 fft_duration: float = DEFAULT_FFT_DURATION,
+                 threshold: float = DEFAULT_THRESHOLD) -> None:
+        if threshold < 1.0:
+            raise ValueError("threshold must be >= 1 (eta is a ratio)")
+        self.sample_interval = sample_interval
+        self.pulse_frequency = pulse_frequency
+        self.fft_duration = fft_duration
+        self.threshold = threshold
+        self.last_result: Optional[DetectionResult] = None
+
+    @property
+    def window_samples(self) -> int:
+        """Number of samples spanning one FFT window."""
+        return int(round(self.fft_duration / self.sample_interval))
+
+    def evaluate(self, z_samples: Sequence[float]) -> DetectionResult:
+        """Classify the given z series (uses the trailing FFT window)."""
+        x = np.asarray(z_samples, dtype=float)
+        if x.size > self.window_samples:
+            x = x[-self.window_samples:]
+        eta = elasticity_metric(x, self.sample_interval, self.pulse_frequency)
+        result = DetectionResult(eta=eta, elastic=eta >= self.threshold,
+                                 pulse_frequency=self.pulse_frequency)
+        self.last_result = result
+        return result
+
+    def has_full_window(self, z_samples: Sequence[float]) -> bool:
+        """True when at least one full FFT window of samples is available."""
+        return len(z_samples) >= self.window_samples
+
+
+class PulserDetector:
+    """Detects whether (and at which frequency) a Nimbus pulser is active.
+
+    Watcher flows feed the FFT of their own receive rate to this detector:
+    a peak at ``fpc`` means a pulser in TCP-competitive mode, a peak at
+    ``fpd`` means a pulser in delay-control mode, and no peak at either
+    frequency means there is currently no pulser (§6).
+    """
+
+    def __init__(self, sample_interval: float = 0.01,
+                 competitive_frequency: float = 5.0,
+                 delay_frequency: float = 6.0,
+                 fft_duration: float = DEFAULT_FFT_DURATION,
+                 threshold: float = DEFAULT_THRESHOLD) -> None:
+        self.sample_interval = sample_interval
+        self.competitive_frequency = competitive_frequency
+        self.delay_frequency = delay_frequency
+        self.fft_duration = fft_duration
+        self.threshold = threshold
+
+    @property
+    def window_samples(self) -> int:
+        return int(round(self.fft_duration / self.sample_interval))
+
+    def evaluate(self, rate_samples: Sequence[float]
+                 ) -> Tuple[bool, Optional[str], float, float]:
+        """Return (pulser_present, mode, eta_competitive, eta_delay).
+
+        ``mode`` is "competitive" or "delay" when a pulser is detected, and
+        None otherwise.
+        """
+        x = np.asarray(rate_samples, dtype=float)
+        if x.size > self.window_samples:
+            x = x[-self.window_samples:]
+        eta_c = elasticity_metric(x, self.sample_interval,
+                                  self.competitive_frequency)
+        eta_d = elasticity_metric(x, self.sample_interval,
+                                  self.delay_frequency)
+        if max(eta_c, eta_d) < self.threshold:
+            return False, None, eta_c, eta_d
+        mode = "competitive" if eta_c >= eta_d else "delay"
+        return True, mode, eta_c, eta_d
+
+
+def cross_correlation_detector(s_samples: Sequence[float],
+                               z_samples: Sequence[float],
+                               threshold: float = 0.3) -> Tuple[float, bool]:
+    """The paper's rejected time-domain strawman (§3.3).
+
+    Computes the maximum-magnitude normalised cross-correlation between the
+    sender's rate S(t) and the cross-traffic estimate z(t) over all lags,
+    and classifies the cross traffic as elastic when it exceeds the
+    threshold.  Kept as an ablation baseline: it works only when the cross
+    traffic is substantially elastic and shares the sender's RTT.
+    """
+    s = np.asarray(s_samples, dtype=float)
+    z = np.asarray(z_samples, dtype=float)
+    n = min(s.size, z.size)
+    if n < 8:
+        return 0.0, False
+    s = s[-n:] - s[-n:].mean()
+    z = z[-n:] - z[-n:].mean()
+    denom = np.sqrt((s ** 2).sum() * (z ** 2).sum())
+    if denom <= 0:
+        return 0.0, False
+    corr = np.correlate(z, s, mode="full") / denom
+    peak = float(np.max(np.abs(corr)))
+    return peak, peak >= threshold

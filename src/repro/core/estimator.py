@@ -1,0 +1,142 @@
+"""Cross-traffic rate estimation (§3.1 of the paper).
+
+The sender estimates the total rate of cross traffic sharing its bottleneck
+from nothing but its own send rate ``S(t)``, its delivery rate ``R(t)``, and
+the bottleneck link rate ``mu``::
+
+    z_hat(t) = mu * S(t) / R(t) - S(t)            (Eq. 1)
+
+As long as the bottleneck queue is non-empty and the router serves traffic
+FIFO, the fraction of the link the flow receives equals its share of the
+arriving traffic, which is what the formula inverts.
+
+:class:`CrossTrafficEstimator` additionally keeps a regularly sampled time
+series of the estimates — the signal whose FFT the elasticity detector
+inspects — together with the matched samples of ``S`` and ``R`` needed by
+the pulser-conflict check of §6.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..simulator.measurement import FlowMeasurement
+
+
+def estimate_cross_traffic(mu: float, send_rate: float,
+                           delivery_rate: float) -> float:
+    """Eq. (1): estimate the cross-traffic rate from S, R, and mu.
+
+    Returns 0 when the inputs are degenerate (no deliveries yet).
+    The result is clamped to the physically meaningful range [0, mu].
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if send_rate <= 0 or delivery_rate <= 0:
+        return 0.0
+    z = mu * send_rate / delivery_rate - send_rate
+    return float(min(max(z, 0.0), mu))
+
+
+class CrossTrafficEstimator:
+    """Sampled cross-traffic rate estimate for one flow.
+
+    Args:
+        mu: Bottleneck link rate in bytes per second.
+        sample_interval: Spacing of the recorded time series (10 ms default,
+            matching the paper's CCP reporting interval).
+        history: How many seconds of samples to retain (at least the FFT
+            duration; the default keeps 30 s for rate-reset bookkeeping).
+    """
+
+    def __init__(self, mu: float, sample_interval: float = 0.01,
+                 history: float = 30.0) -> None:
+        if mu <= 0:
+            raise ValueError("mu must be positive")
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.mu = mu
+        self.sample_interval = sample_interval
+        self.maxlen = max(2, int(round(history / sample_interval)))
+        self._z: Deque[float] = deque(maxlen=self.maxlen)
+        self._s: Deque[float] = deque(maxlen=self.maxlen)
+        self._r: Deque[float] = deque(maxlen=self.maxlen)
+        self._times: Deque[float] = deque(maxlen=self.maxlen)
+        self._last_sample = -float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def maybe_sample(self, now: float, measurement: FlowMeasurement,
+                     window: Optional[float] = None) -> Optional[float]:
+        """Record a sample if at least one sample interval has elapsed.
+
+        Returns the new z estimate, or None if it is not yet time to sample.
+        ``window`` overrides the measurement window (defaults to one RTT).
+        """
+        if now - self._last_sample < self.sample_interval - 1e-12:
+            return None
+        self._last_sample = now
+        s, r = measurement.paired_rates(now, window)
+        z = estimate_cross_traffic(self.mu, s, r)
+        self._z.append(z)
+        self._s.append(s)
+        self._r.append(r)
+        self._times.append(now)
+        return z
+
+    def add_sample(self, now: float, send_rate: float,
+                   delivery_rate: float) -> float:
+        """Record a sample from externally supplied S and R values."""
+        z = estimate_cross_traffic(self.mu, send_rate, delivery_rate)
+        self._z.append(z)
+        self._s.append(send_rate)
+        self._r.append(delivery_rate)
+        self._times.append(now)
+        self._last_sample = now
+        return z
+
+    # ------------------------------------------------------------------ #
+    # Series access
+    # ------------------------------------------------------------------ #
+    def z_series(self, duration: Optional[float] = None) -> np.ndarray:
+        """The most recent ``duration`` seconds of z samples (all if None)."""
+        return self._tail(self._z, duration)
+
+    def s_series(self, duration: Optional[float] = None) -> np.ndarray:
+        """The matched send-rate samples."""
+        return self._tail(self._s, duration)
+
+    def r_series(self, duration: Optional[float] = None) -> np.ndarray:
+        """The matched delivery-rate samples."""
+        return self._tail(self._r, duration)
+
+    def times(self, duration: Optional[float] = None) -> np.ndarray:
+        """Timestamps of the retained samples."""
+        return self._tail(self._times, duration)
+
+    def latest(self) -> Tuple[float, float, float]:
+        """Most recent (z, S, R) sample, or zeros if nothing sampled yet."""
+        if not self._z:
+            return 0.0, 0.0, 0.0
+        return self._z[-1], self._s[-1], self._r[-1]
+
+    def sample_count(self, duration: float) -> int:
+        """Number of samples spanning ``duration`` seconds."""
+        return int(round(duration / self.sample_interval))
+
+    def __len__(self) -> int:
+        return len(self._z)
+
+    def _tail(self, series: Deque[float],
+              duration: Optional[float]) -> np.ndarray:
+        arr = np.asarray(series, dtype=float)
+        if duration is None:
+            return arr
+        n = self.sample_count(duration)
+        if n >= len(arr):
+            return arr
+        return arr[-n:]

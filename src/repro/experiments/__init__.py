@@ -1,0 +1,87 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run(**params)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult`.  Default parameters
+mirror the paper's setups; benchmarks pass scaled-down durations.
+"""
+
+from . import (
+    accuracy_scenarios,
+    appE_buffer_aqm,
+    fig01_motivation,
+    fig03_self_inflicted,
+    fig04_pulse_response,
+    fig05_fft,
+    fig06_elasticity_cdf,
+    fig08_time_varying,
+    fig09_wan,
+    fig10_copa_drop,
+    fig11_video,
+    fig12_eta_tracking,
+    fig13_load,
+    fig14_accuracy_vs_copa,
+    fig15_rtt_sweep,
+    fig16_multiflow,
+    fig17_multiflow_cross,
+    fig21_fct,
+    fig22_bbr_compete,
+    fig23_copa_cbr,
+    fig24_copa_rtt,
+    fig25_multifactor,
+    fig26_vivace_pulse,
+    internet_paths,
+    table1_classification,
+)
+from .common import (
+    CROSS_FLOW,
+    MAIN_FLOW,
+    ExperimentResult,
+    SchemeResult,
+    add_main_flow,
+    make_network,
+    make_scheme,
+    queue_delay_stats,
+)
+
+#: Registry mapping paper artefact -> experiment module, used by the
+#: benchmark harness and the EXPERIMENTS.md index.
+EXPERIMENT_INDEX = {
+    "fig01": fig01_motivation,
+    "fig03": fig03_self_inflicted,
+    "fig04": fig04_pulse_response,
+    "fig05": fig05_fft,
+    "fig06": fig06_elasticity_cdf,
+    "fig08": fig08_time_varying,
+    "fig09": fig09_wan,
+    "fig10": fig10_copa_drop,
+    "fig11": fig11_video,
+    "fig12": fig12_eta_tracking,
+    "fig13": fig13_load,
+    "fig14": fig14_accuracy_vs_copa,
+    "fig15": fig15_rtt_sweep,
+    "fig16": fig16_multiflow,
+    "fig17": fig17_multiflow_cross,
+    "fig18": internet_paths,
+    "fig19": internet_paths,
+    "fig20": internet_paths,
+    "fig21": fig21_fct,
+    "fig22": fig22_bbr_compete,
+    "fig23": fig23_copa_cbr,
+    "fig24": fig24_copa_rtt,
+    "fig25": fig25_multifactor,
+    "fig26": fig26_vivace_pulse,
+    "appE": appE_buffer_aqm,
+    "table1": table1_classification,
+}
+
+__all__ = [
+    "CROSS_FLOW",
+    "EXPERIMENT_INDEX",
+    "ExperimentResult",
+    "MAIN_FLOW",
+    "SchemeResult",
+    "add_main_flow",
+    "make_network",
+    "make_scheme",
+    "queue_delay_stats",
+]

@@ -1,0 +1,65 @@
+"""Appendix E.2: robustness to buffer size, propagation RTT, and AQM.
+
+Classification accuracy with drop-tail buffers from 0.25 to 4 BDP, several
+propagation delays, and PIE at two target delays.  The paper's caveats also
+appear here: with very shallow buffers (or an aggressive PIE target) losses
+corrupt the cross-traffic estimator and accuracy degrades, although Nimbus
+still achieves its fair share and low (buffer-bounded) delays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from .accuracy_scenarios import CrossSpec, run_accuracy_scenario
+from .common import ExperimentResult
+
+DEFAULT_BUFFERS_BDP = (0.5, 1.0, 2.0, 4.0)
+DEFAULT_RTTS = (0.025, 0.05, 0.075)
+
+
+def run(buffer_bdp_multipliers: Iterable[float] = (1.0, 2.0),
+        prop_rtts: Iterable[float] = (0.05,),
+        categories: Iterable[str] = ("elastic", "poisson", "mix"),
+        pie_targets_bdp: Optional[Iterable[float]] = None,
+        link_mbps: float = 96.0, duration: float = 40.0, dt: float = 0.002,
+        seed: int = 0) -> ExperimentResult:
+    """Sweep buffer depth and RTT (and optionally PIE) for each traffic mix."""
+    result = ExperimentResult(
+        name="appE_buffer_aqm",
+        parameters=dict(buffer_bdp_multipliers=list(buffer_bdp_multipliers),
+                        prop_rtts=list(prop_rtts),
+                        categories=list(categories), link_mbps=link_mbps,
+                        duration=duration))
+
+    def spec_for(category: str) -> CrossSpec:
+        if category == "elastic":
+            return CrossSpec(kind="elastic", elastic_flows=1)
+        if category == "mix":
+            return CrossSpec(kind="mix", elastic_flows=1, rate_fraction=0.25)
+        return CrossSpec(kind="poisson", rate_fraction=0.5, elastic_flows=0)
+
+    accuracy: Dict[Tuple, float] = {}
+    for category in categories:
+        for rtt in prop_rtts:
+            for multiplier in buffer_bdp_multipliers:
+                buffer_ms = rtt * 1e3 * multiplier
+                scenario = run_accuracy_scenario(
+                    "nimbus", spec_for(category), link_mbps=link_mbps,
+                    prop_rtt=rtt, buffer_ms=buffer_ms, duration=duration,
+                    dt=dt, seed=seed)
+                accuracy[(category, rtt, multiplier, "droptail")] = (
+                    scenario.report.accuracy)
+            for target in (pie_targets_bdp or ()):
+                scenario = run_accuracy_scenario(
+                    "nimbus", spec_for(category), link_mbps=link_mbps,
+                    prop_rtt=rtt, buffer_ms=rtt * 1e3 * 4,
+                    aqm_target_ms=rtt * 1e3 * target, duration=duration,
+                    dt=dt, seed=seed)
+                accuracy[(category, rtt, target, "pie")] = (
+                    scenario.report.accuracy)
+
+    result.data["accuracy"] = accuracy
+    result.data["mean_accuracy"] = (sum(accuracy.values()) / len(accuracy)
+                                    if accuracy else 0.0)
+    return result

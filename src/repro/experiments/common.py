@@ -1,0 +1,158 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment in the paper is some combination of: a bottleneck link, a
+"main" bulk flow running one of the schemes under study, and cross traffic.
+This module provides the scheme registry (string name -> congestion-control
+instance), the standard network construction, and result containers, so the
+individual ``figXX_*`` modules stay small and declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..analysis.metrics import ThroughputDelaySummary, summarize_flow
+from ..cc import (
+    BasicDelay,
+    Bbr,
+    Compound,
+    Copa,
+    Cubic,
+    NewReno,
+    Vegas,
+    Vivace,
+)
+from ..cc.base import CongestionControl
+from ..core.nimbus import Nimbus
+from ..simulator import (
+    BottleneckLink,
+    DropTail,
+    Flow,
+    Network,
+    Pie,
+    mbps_to_bytes_per_sec,
+)
+
+#: Name of the main (measured) flow in every experiment.
+MAIN_FLOW = "main"
+#: Name given to cross-traffic flows.
+CROSS_FLOW = "cross"
+
+
+def make_network(link_mbps: float, buffer_ms: float = 100.0,
+                 dt: float = 0.002, seed: int = 0,
+                 aqm_target_ms: Optional[float] = None) -> Network:
+    """Standard single-bottleneck network used across experiments.
+
+    ``aqm_target_ms`` switches the queue policy from drop-tail to PIE with
+    the given target delay (Appendix E.2).
+    """
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    buffer_bytes = mu * buffer_ms / 1e3
+    if aqm_target_ms is not None:
+        policy = Pie(target_delay=aqm_target_ms / 1e3,
+                     buffer_bytes=buffer_bytes, seed=seed)
+    else:
+        policy = DropTail(buffer_bytes)
+    link = BottleneckLink(capacity=mu, policy=policy)
+    return Network(link, dt=dt, seed=seed)
+
+
+def make_scheme(name: str, mu: float, **overrides) -> CongestionControl:
+    """Instantiate a congestion-control scheme by name.
+
+    Supported names: ``nimbus`` (Cubic + BasicDelay), ``nimbus-copa``
+    (Cubic + Copa default mode), ``nimbus-vegas``, ``nimbus-delay`` (the
+    delay algorithm alone, no mode switching), ``cubic``, ``newreno``,
+    ``vegas``, ``copa``, ``copa-default``, ``bbr``, ``pcc-vivace``,
+    ``compound``, ``basicdelay``.
+    """
+    factories: Dict[str, Callable[[], CongestionControl]] = {
+        "nimbus": lambda: Nimbus(mu=mu, **overrides),
+        "nimbus-copa": lambda: Nimbus(
+            mu=mu, delay=Copa(mode_switching=False), **overrides),
+        "nimbus-vegas": lambda: Nimbus(mu=mu, delay=Vegas(), **overrides),
+        "nimbus-delay": lambda: BasicDelay(mu, **overrides),
+        "basicdelay": lambda: BasicDelay(mu, **overrides),
+        "cubic": lambda: Cubic(**overrides),
+        "newreno": lambda: NewReno(**overrides),
+        "reno": lambda: NewReno(**overrides),
+        "vegas": lambda: Vegas(**overrides),
+        "copa": lambda: Copa(**overrides),
+        "copa-default": lambda: Copa(mode_switching=False, **overrides),
+        "bbr": lambda: Bbr(**overrides),
+        "pcc-vivace": lambda: Vivace(**overrides),
+        "compound": lambda: Compound(**overrides),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; known: {sorted(factories)}")
+
+
+def add_main_flow(network: Network, scheme: str, link_mbps: float,
+                  prop_rtt: float = 0.05, name: str = MAIN_FLOW,
+                  **overrides) -> Flow:
+    """Add the measured bulk-transfer flow running ``scheme``."""
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    cc = make_scheme(scheme, mu, **overrides)
+    flow = Flow(cc=cc, prop_rtt=prop_rtt, name=name)
+    network.add_flow(flow)
+    return flow
+
+
+@dataclass
+class SchemeResult:
+    """Per-scheme outcome of one experiment run."""
+
+    scheme: str
+    summary: ThroughputDelaySummary
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Container returned by every experiment driver's ``run`` function."""
+
+    name: str
+    parameters: dict
+    schemes: Dict[str, SchemeResult] = field(default_factory=dict)
+    data: dict = field(default_factory=dict)
+
+    def add_scheme(self, scheme: str, recorder, flow_name: str = MAIN_FLOW,
+                   start: float = 0.0, end: Optional[float] = None,
+                   **extra) -> SchemeResult:
+        """Summarise a recorder's main flow under the given scheme label."""
+        summary = summarize_flow(recorder, flow_name, scheme=scheme,
+                                 start=start, end=end)
+        result = SchemeResult(scheme=scheme, summary=summary, extra=extra)
+        self.schemes[scheme] = result
+        return result
+
+    def table(self) -> str:
+        """Human-readable summary table (used by the examples and EXPERIMENTS.md)."""
+        lines = [f"== {self.name} ==",
+                 f"{'scheme':<18}{'tput (Mbit/s)':>15}{'mean delay (ms)':>18}"
+                 f"{'p95 delay (ms)':>16}"]
+        for scheme, result in self.schemes.items():
+            s = result.summary
+            lines.append(f"{scheme:<18}{s.mean_throughput_mbps:>15.1f}"
+                         f"{s.mean_delay_ms:>18.1f}{s.p95_delay_ms:>16.1f}")
+        return "\n".join(lines)
+
+
+def queue_delay_stats(recorder, start: float = 0.0) -> Dict[str, float]:
+    """Mean/median/p95 of the bottleneck queueing delay after ``start``."""
+    times, delays = recorder.link_queue_delay_series()
+    mask = times >= start
+    selected = delays[mask] if mask.any() else delays
+    if selected.size == 0:
+        return {"mean": 0.0, "median": 0.0, "p95": 0.0}
+    return {
+        "mean": float(np.mean(selected)),
+        "median": float(np.median(selected)),
+        "p95": float(np.percentile(selected, 95)),
+    }

@@ -1,0 +1,52 @@
+"""Figure 11: throughput/delay with DASH video cross traffic.
+
+Two variants: a 4K stream whose bitrate ladder exceeds its fair share of the
+48 Mbit/s link (network-limited, hence elastic cross traffic) and a 1080p
+stream that is application-limited (inelastic).  Against the 1080p stream
+all schemes get similar throughput but the delay-controlling ones achieve
+much lower delay; against the 4K stream, Vegas and Copa are starved while
+Nimbus matches Cubic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cc import Cubic
+from ..simulator import Flow
+from ..traffic import video_1080p, video_4k
+from .common import ExperimentResult, add_main_flow, make_network, queue_delay_stats
+
+DEFAULT_SCHEMES = ("nimbus", "cubic", "vegas", "copa", "bbr", "pcc-vivace")
+
+
+def run(schemes: Iterable[str] = ("nimbus", "cubic", "vegas"),
+        video_kinds: Iterable[str] = ("4k", "1080p"),
+        link_mbps: float = 48.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, duration: float = 60.0,
+        dt: float = 0.002, seed: int = 0) -> ExperimentResult:
+    """Run each scheme against each video type."""
+    result = ExperimentResult(
+        name="fig11_video",
+        parameters=dict(schemes=list(schemes), video_kinds=list(video_kinds),
+                        link_mbps=link_mbps, duration=duration))
+    warmup = duration / 4.0
+    for kind in video_kinds:
+        for scheme in schemes:
+            network = make_network(link_mbps, buffer_ms=buffer_ms, dt=dt,
+                                   seed=seed)
+            add_main_flow(network, scheme, link_mbps, prop_rtt=prop_rtt)
+            source = video_4k() if kind == "4k" else video_1080p()
+            network.add_flow(Flow(cc=Cubic(), prop_rtt=prop_rtt,
+                                  source=source, name="video"))
+            network.run(duration)
+            recorder = network.recorder
+            label = f"{scheme}@{kind}"
+            result.add_scheme(
+                label, recorder, start=warmup,
+                video_kind=kind,
+                video_throughput=recorder.mean_throughput("video",
+                                                          start=warmup),
+                video_rebuffer_s=source.rebuffer_time,
+                queue=queue_delay_stats(recorder, start=warmup))
+    return result

@@ -1,0 +1,62 @@
+"""Figure 12: the elasticity metric tracks the true elastic share over time.
+
+A Nimbus flow runs against the WAN workload; the experiment compares the
+time series of the elasticity metric (and the resulting mode decisions)
+against the ground truth computed from the workload generator: the fraction
+of delivered cross-traffic bytes in each window that belong to flows large
+enough to be ACK-clocked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.accuracy import classification_accuracy
+from .common import MAIN_FLOW, ExperimentResult
+from .fig09_wan import run_single
+
+
+def run(link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, load: float = 0.5, duration: float = 80.0,
+        truth_window: float = 5.0, truth_threshold: float = 0.3,
+        dt: float = 0.002, seed: int = 1) -> ExperimentResult:
+    """Run Nimbus on the WAN workload and score eta against ground truth."""
+    network, flow, generator = run_single(
+        "nimbus", link_mbps=link_mbps, prop_rtt=prop_rtt,
+        buffer_ms=buffer_ms, load=load, duration=duration, dt=dt, seed=seed)
+    recorder = network.recorder
+    nimbus = flow.cc
+
+    eta_times = np.array([t for t, _ in nimbus.eta_history])
+    eta_values = np.array([e for _, e in nimbus.eta_history])
+
+    def truth(t: float) -> bool:
+        return generator.elastic_present(max(0.0, t - truth_window), t,
+                                         byte_fraction_threshold=truth_threshold)
+
+    times, modes = recorder.mode_series(MAIN_FLOW)
+    warmup = 10.0
+    report = classification_accuracy(times, modes, elastic_truth=truth,
+                                     warmup=warmup, settle=truth_window)
+
+    truth_series = np.array([
+        generator.elastic_byte_fraction(max(0.0, t - truth_window), t)
+        for t in times])
+
+    result = ExperimentResult(
+        name="fig12_eta_tracking",
+        parameters=dict(link_mbps=link_mbps, load=load, duration=duration,
+                        truth_window=truth_window))
+    result.add_scheme("nimbus", recorder, start=warmup,
+                      accuracy=report.accuracy,
+                      time_in_competitive=report.time_in_competitive,
+                      truth_elastic_fraction=report.time_elastic_truth)
+    result.data = {
+        "eta_times": eta_times,
+        "eta_values": eta_values,
+        "mode_times": times,
+        "modes": modes,
+        "elastic_fraction_truth": truth_series,
+        "accuracy": report.accuracy,
+    }
+    return result

@@ -1,0 +1,50 @@
+"""Figure 13: effect of cross-traffic load and pulse size.
+
+The WAN workload offers 50 % or 90 % of the link; Nimbus runs with pulse
+amplitudes of 0.125 and 0.25 of the link rate and is compared against Cubic
+and Vegas.  At low load Nimbus's delay approaches Vegas while its
+throughput approaches Cubic; at high load it behaves like Cubic; and the
+larger pulse gives more reliable switching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .common import ExperimentResult, queue_delay_stats
+from .fig09_wan import run_single
+
+
+def run(loads: Iterable[float] = (0.5, 0.9),
+        pulse_sizes: Iterable[float] = (0.125, 0.25),
+        baselines: Iterable[str] = ("cubic", "vegas"),
+        link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, duration: float = 60.0,
+        dt: float = 0.002, seed: int = 1) -> ExperimentResult:
+    """Sweep load x pulse size for Nimbus, plus the fixed baselines."""
+    result = ExperimentResult(
+        name="fig13_load",
+        parameters=dict(loads=list(loads), pulse_sizes=list(pulse_sizes),
+                        link_mbps=link_mbps, duration=duration))
+    warmup = duration / 6.0
+    for load in loads:
+        for scheme in baselines:
+            network, _, _ = run_single(scheme, link_mbps=link_mbps,
+                                       prop_rtt=prop_rtt,
+                                       buffer_ms=buffer_ms, load=load,
+                                       duration=duration, dt=dt, seed=seed)
+            result.add_scheme(
+                f"{scheme}@load{int(load * 100)}", network.recorder,
+                start=warmup, load=load,
+                queue=queue_delay_stats(network.recorder, start=warmup))
+        for pulse in pulse_sizes:
+            network, _, _ = run_single("nimbus", link_mbps=link_mbps,
+                                       prop_rtt=prop_rtt,
+                                       buffer_ms=buffer_ms, load=load,
+                                       duration=duration, dt=dt, seed=seed,
+                                       pulse_fraction=pulse)
+            result.add_scheme(
+                f"nimbus{pulse}@load{int(load * 100)}", network.recorder,
+                start=warmup, load=load, pulse_fraction=pulse,
+                queue=queue_delay_stats(network.recorder, start=warmup))
+    return result

@@ -1,0 +1,67 @@
+"""Figure 15 (and the mixed-RTT paragraph of §8.2): sensitivity to the RTT of
+the cross traffic.
+
+Nimbus runs against fully inelastic (Poisson), fully elastic (backlogged
+NewReno), and mixed cross traffic whose base RTT ranges from 0.2x to 4x
+Nimbus's RTT.  The paper reports > 98 % accuracy for the pure cases and
+>= 85 % for the mix across the whole range; heterogeneous per-flow RTTs
+(Fig. 15's companion experiment) do not hurt either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from .accuracy_scenarios import CrossSpec, run_accuracy_scenario
+from .common import ExperimentResult
+
+DEFAULT_RATIOS = (0.2, 0.5, 1.0, 2.0, 4.0)
+DEFAULT_CATEGORIES = ("elastic", "mix", "poisson")
+
+
+def run(rtt_ratios: Iterable[float] = (0.5, 1.0, 2.0),
+        categories: Iterable[str] = DEFAULT_CATEGORIES,
+        mixed_rtts: Sequence[float] | None = None,
+        link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, duration: float = 50.0,
+        dt: float = 0.002, seed: int = 0) -> ExperimentResult:
+    """Sweep cross-traffic RTT ratio for each traffic category.
+
+    ``mixed_rtts`` optionally adds the multiple-elastic-flows-with-different-
+    RTTs scenario: a list of RTTs (seconds), one backlogged flow each.
+    """
+    result = ExperimentResult(
+        name="fig15_rtt_sweep",
+        parameters=dict(rtt_ratios=list(rtt_ratios),
+                        categories=list(categories), link_mbps=link_mbps,
+                        duration=duration))
+    accuracy: Dict[str, Dict[float, float]] = {c: {} for c in categories}
+    scenarios: Dict[str, Dict[float, object]] = {c: {} for c in categories}
+
+    for category in categories:
+        for ratio in rtt_ratios:
+            if category == "elastic":
+                spec = CrossSpec(kind="elastic", elastic_flows=2,
+                                 rtt_ratio=ratio)
+            elif category == "mix":
+                spec = CrossSpec(kind="mix", elastic_flows=1,
+                                 rate_fraction=0.25, rtt_ratio=ratio)
+            else:
+                spec = CrossSpec(kind="poisson", rate_fraction=0.5,
+                                 elastic_flows=0, rtt_ratio=ratio)
+            scenario = run_accuracy_scenario(
+                "nimbus", spec, link_mbps=link_mbps, prop_rtt=prop_rtt,
+                buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
+            accuracy[category][ratio] = scenario.report.accuracy
+            scenarios[category][ratio] = scenario
+
+    result.data = {"accuracy": accuracy, "scenarios": scenarios}
+
+    if mixed_rtts:
+        spec = CrossSpec(kind="elastic", elastic_flows=len(mixed_rtts),
+                         elastic_rtts=list(mixed_rtts))
+        scenario = run_accuracy_scenario(
+            "nimbus", spec, link_mbps=link_mbps, prop_rtt=prop_rtt,
+            buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
+        result.data["mixed_rtt_accuracy"] = scenario.report.accuracy
+    return result

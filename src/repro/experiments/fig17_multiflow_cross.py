@@ -1,0 +1,80 @@
+"""Figure 17: multiple Nimbus flows with elastic then inelastic cross traffic.
+
+Three Nimbus flows run throughout on a 192 Mbit/s link.  For the first part
+the cross traffic is three Cubic flows (elastic); afterwards it is a
+96 Mbit/s constant-bit-rate stream (inelastic).  The Nimbus aggregate should
+get its fair share in the first phase and keep queueing delay low in the
+second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nimbus import Nimbus
+from ..simulator import Flow, mbps_to_bytes_per_sec
+from ..traffic import Phase, ScriptedCrossTraffic
+from .common import ExperimentResult, make_network
+
+
+def run(n_flows: int = 3, link_mbps: float = 192.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, phase_duration: float = 60.0,
+        warmup: float = 30.0, dt: float = 0.002,
+        seed: int = 0) -> ExperimentResult:
+    """Run the two-phase multi-flow scenario."""
+    network = make_network(link_mbps, buffer_ms=buffer_ms, dt=dt, seed=seed)
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    for i in range(n_flows):
+        nimbus = Nimbus(mu=mu, multi_flow=True, seed=seed + i)
+        network.add_flow(Flow(cc=nimbus, prop_rtt=prop_rtt,
+                              name=f"nimbus{i}"))
+
+    phases = [
+        Phase(duration=phase_duration, elastic_flows=3),
+        Phase(duration=phase_duration, inelastic_rate=0.5 * mu),
+    ]
+    cross = ScriptedCrossTraffic(network=network, phases=phases,
+                                 prop_rtt=prop_rtt, start=warmup)
+    cross.install()
+    total = warmup + 2 * phase_duration
+    network.run(total)
+
+    recorder = network.recorder
+    names = [f"nimbus{i}" for i in range(n_flows)]
+    times, _ = recorder.throughput_series(names[0])
+    aggregate = np.zeros_like(times)
+    for name in names:
+        _, series = recorder.throughput_series(name)
+        aggregate += series
+    _, qdelay = recorder.link_queue_delay_series()
+
+    elastic_window = (times >= warmup + 10) & (times <= warmup + phase_duration)
+    inelastic_window = times >= warmup + phase_duration + 10
+
+    # Fair share of the aggregate: n_flows/(n_flows + 3 cubic) of the link in
+    # the elastic phase, and everything the CBR leaves in the second phase.
+    fair_elastic = link_mbps * n_flows / (n_flows + 3)
+    fair_inelastic = link_mbps * 0.5
+
+    result = ExperimentResult(
+        name="fig17_multiflow_cross",
+        parameters=dict(n_flows=n_flows, link_mbps=link_mbps,
+                        phase_duration=phase_duration))
+    for name in names:
+        result.add_scheme(name, recorder, flow_name=name, start=warmup)
+    result.data = {
+        "times": times,
+        "aggregate_mbps": aggregate,
+        "queue_delay_ms": qdelay,
+        "aggregate_elastic_mean": float(np.mean(aggregate[elastic_window]))
+        if elastic_window.any() else 0.0,
+        "aggregate_inelastic_mean": float(np.mean(aggregate[inelastic_window]))
+        if inelastic_window.any() else 0.0,
+        "delay_elastic_mean_ms": float(np.mean(qdelay[elastic_window]))
+        if elastic_window.any() else 0.0,
+        "delay_inelastic_mean_ms": float(np.mean(qdelay[inelastic_window]))
+        if inelastic_window.any() else 0.0,
+        "fair_share_elastic_mbps": fair_elastic,
+        "fair_share_inelastic_mbps": fair_inelastic,
+    }
+    return result

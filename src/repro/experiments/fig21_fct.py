@@ -1,0 +1,47 @@
+"""Figure 21 (Appendix B): flow-completion times of the cross traffic.
+
+The WAN workload runs against a bulk flow using each scheme; the p95 FCT of
+the cross flows, binned by flow size and normalised by the Nimbus value,
+shows that Nimbus is gentler on cross traffic than BBR at every size and
+than Cubic for short flows, while Vegas (which cedes all bandwidth) gives
+the best cross-flow FCTs at the cost of its own throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.fct import fct_by_size, normalized_p95
+from .common import ExperimentResult
+from .fig09_wan import run_single
+
+DEFAULT_SCHEMES = ("nimbus", "cubic", "bbr", "vegas")
+
+
+def run(schemes: Iterable[str] = ("nimbus", "cubic", "vegas"),
+        link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, load: float = 0.5, duration: float = 60.0,
+        dt: float = 0.002, seed: int = 1) -> ExperimentResult:
+    """Collect per-scheme cross-flow FCT distributions and normalise by Nimbus."""
+    schemes = list(schemes)
+    if "nimbus" not in schemes:
+        schemes = ["nimbus"] + schemes
+    result = ExperimentResult(
+        name="fig21_fct",
+        parameters=dict(schemes=schemes, link_mbps=link_mbps, load=load,
+                        duration=duration))
+    fcts = {}
+    for scheme in schemes:
+        network, _, generator = run_single(
+            scheme, link_mbps=link_mbps, prop_rtt=prop_rtt,
+            buffer_ms=buffer_ms, load=load, duration=duration, dt=dt,
+            seed=seed)
+        records = generator.completed_records()
+        fcts[scheme] = fct_by_size(records)
+        result.add_scheme(scheme, network.recorder, start=duration / 6.0,
+                          completed_cross_flows=len(records))
+    result.data = {
+        "fct_by_size": fcts,
+        "normalized_p95": normalized_p95(fcts, baseline_scheme="nimbus"),
+    }
+    return result

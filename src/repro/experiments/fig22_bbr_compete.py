@@ -1,0 +1,53 @@
+"""Figure 22 (Appendix C): competing against a BBR flow.
+
+With shallow buffers BBR is rate-driven (not ACK-clocked), Nimbus classifies
+it as inelastic, and both Nimbus and Cubic receive only a small share of the
+link because BBR is aggressive.  With deep buffers BBR's inflight cap makes
+it ACK-clocked, Nimbus classifies it as elastic and competes, matching
+Cubic's throughput.  The claim reproduced here is that Nimbus's throughput
+against BBR tracks Cubic's across buffer sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..cc import Bbr
+from ..simulator import Flow, mbps_to_bytes_per_sec
+from .common import MAIN_FLOW, ExperimentResult, add_main_flow, make_network
+
+DEFAULT_BUFFERS_BDP = (0.5, 1.0, 2.0, 4.0)
+
+
+def run(buffer_bdp_multipliers: Iterable[float] = (0.5, 2.0),
+        schemes: Iterable[str] = ("nimbus", "cubic"),
+        link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        duration: float = 50.0, dt: float = 0.002,
+        seed: int = 0) -> ExperimentResult:
+    """Run each scheme against one BBR flow for each buffer size."""
+    result = ExperimentResult(
+        name="fig22_bbr_compete",
+        parameters=dict(buffer_bdp_multipliers=list(buffer_bdp_multipliers),
+                        schemes=list(schemes), link_mbps=link_mbps,
+                        duration=duration))
+    warmup = duration / 4.0
+    throughput: Dict[float, Dict[str, float]] = {}
+    for multiplier in buffer_bdp_multipliers:
+        buffer_ms = prop_rtt * 1e3 * multiplier
+        throughput[multiplier] = {}
+        for scheme in schemes:
+            network = make_network(link_mbps, buffer_ms=buffer_ms, dt=dt,
+                                   seed=seed)
+            add_main_flow(network, scheme, link_mbps, prop_rtt=prop_rtt)
+            network.add_flow(Flow(cc=Bbr(), prop_rtt=prop_rtt, name="bbr"))
+            network.run(duration)
+            recorder = network.recorder
+            label = f"{scheme}@{multiplier}bdp"
+            result.add_scheme(label, recorder, start=warmup,
+                              buffer_bdp=multiplier,
+                              bbr_throughput=recorder.mean_throughput(
+                                  "bbr", start=warmup))
+            throughput[multiplier][scheme] = recorder.mean_throughput(
+                MAIN_FLOW, start=warmup)
+    result.data["throughput"] = throughput
+    return result

@@ -1,0 +1,51 @@
+"""Figure 24 (Appendix D.2): Copa vs. Nimbus against an elastic NewReno flow.
+
+With equal RTTs both schemes classify the cross traffic correctly and get a
+fair share.  When the NewReno flow's RTT is 4x larger it ramps slowly, the
+queue keeps draining, Copa concludes there is no buffer-filling traffic and
+stays in its default mode — losing throughput — while Nimbus detects the
+elasticity and keeps (its RTT-biased share of) the bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..analysis.accuracy import mode_fraction
+from ..cc import NewReno
+from ..simulator import Flow
+from .common import MAIN_FLOW, ExperimentResult, add_main_flow, make_network
+
+
+def run(rtt_ratios: Iterable[float] = (1.0, 4.0),
+        schemes: Iterable[str] = ("copa", "nimbus"),
+        link_mbps: float = 96.0, prop_rtt: float = 0.05,
+        buffer_ms: float = 100.0, duration: float = 60.0,
+        dt: float = 0.002, seed: int = 0) -> ExperimentResult:
+    """Run each scheme against a NewReno flow at each RTT ratio."""
+    result = ExperimentResult(
+        name="fig24_copa_rtt",
+        parameters=dict(rtt_ratios=list(rtt_ratios), schemes=list(schemes),
+                        link_mbps=link_mbps, duration=duration))
+    warmup = duration / 3.0
+    throughput: Dict[str, Dict[float, float]] = {s: {} for s in schemes}
+    for ratio in rtt_ratios:
+        for scheme in schemes:
+            network = make_network(link_mbps, buffer_ms=buffer_ms, dt=dt,
+                                   seed=seed)
+            add_main_flow(network, scheme, link_mbps, prop_rtt=prop_rtt)
+            network.add_flow(Flow(cc=NewReno(), prop_rtt=prop_rtt * ratio,
+                                  name="reno"))
+            network.run(duration)
+            recorder = network.recorder
+            label = f"{scheme}@rtt{ratio:g}x"
+            _, modes = recorder.mode_series(MAIN_FLOW)
+            result.add_scheme(
+                label, recorder, start=warmup, rtt_ratio=ratio,
+                reno_throughput=recorder.mean_throughput("reno", start=warmup),
+                competitive_fraction=mode_fraction(modes, "competitive"))
+            throughput[scheme][ratio] = recorder.mean_throughput(
+                MAIN_FLOW, start=warmup)
+    result.data["throughput"] = throughput
+    result.data["fair_share_mbps"] = link_mbps / 2.0
+    return result

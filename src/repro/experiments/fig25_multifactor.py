@@ -1,0 +1,64 @@
+"""Figure 25 (Appendix E.1): multi-factor robustness sweep.
+
+Classification accuracy as a function of Nimbus's pulse size, the bottleneck
+link rate, and the fraction of the link Nimbus's fair share represents.
+Larger pulses and faster links improve accuracy; a smaller Nimbus share also
+helps because the inelastic cross traffic then has lower relative variance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .accuracy_scenarios import CrossSpec, run_accuracy_scenario
+from .common import ExperimentResult
+
+DEFAULT_PULSE_SIZES = (0.0625, 0.125, 0.25, 0.5)
+DEFAULT_LINK_RATES = (96.0, 192.0, 384.0)
+DEFAULT_SHARES = (0.125, 0.25, 0.5, 0.75)
+
+
+def run(pulse_sizes: Iterable[float] = (0.125, 0.25),
+        link_rates_mbps: Iterable[float] = (96.0,),
+        nimbus_shares: Iterable[float] = (0.25, 0.5),
+        traffic_kind: str = "mix",
+        prop_rtt: float = 0.05, buffer_ms: float = 100.0,
+        duration: float = 40.0, dt: float = 0.002,
+        seed: int = 0) -> ExperimentResult:
+    """Sweep pulse size x link rate x Nimbus share and report accuracy.
+
+    ``nimbus_shares`` controls the share of the link *not* taken by the
+    inelastic cross traffic: a share of 0.25 means inelastic traffic offers
+    75 % of the link (minus the elastic flow for the mixed workload).
+    """
+    result = ExperimentResult(
+        name="fig25_multifactor",
+        parameters=dict(pulse_sizes=list(pulse_sizes),
+                        link_rates_mbps=list(link_rates_mbps),
+                        nimbus_shares=list(nimbus_shares),
+                        traffic_kind=traffic_kind, duration=duration))
+    accuracy: Dict[Tuple[float, float, float], float] = {}
+    for link_rate in link_rates_mbps:
+        for share in nimbus_shares:
+            inelastic_fraction = max(0.0, 1.0 - share)
+            if traffic_kind == "mix":
+                # Half the non-Nimbus share is elastic, half inelastic.
+                spec = CrossSpec(kind="mix", elastic_flows=1,
+                                 rate_fraction=inelastic_fraction / 2.0)
+            elif traffic_kind == "elastic":
+                spec = CrossSpec(kind="elastic", elastic_flows=1,
+                                 rate_fraction=0.0)
+            else:
+                spec = CrossSpec(kind="poisson",
+                                 rate_fraction=inelastic_fraction,
+                                 elastic_flows=0)
+            for pulse in pulse_sizes:
+                scenario = run_accuracy_scenario(
+                    "nimbus", spec, link_mbps=link_rate, prop_rtt=prop_rtt,
+                    buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed,
+                    pulse_fraction=pulse)
+                accuracy[(pulse, link_rate, share)] = scenario.report.accuracy
+    result.data["accuracy"] = accuracy
+    result.data["mean_accuracy"] = (sum(accuracy.values()) / len(accuracy)
+                                    if accuracy else 0.0)
+    return result

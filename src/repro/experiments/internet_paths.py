@@ -1,0 +1,137 @@
+"""Internet-path emulation profiles (Figures 18, 19, 20 and Appendix A).
+
+The paper measures Nimbus, Cubic, BBR and Vegas over 25 real paths between
+EC2 servers and residential clients.  Real paths are not available offline,
+so each path is replaced by an emulation *profile* capturing the properties
+that drive the result: bottleneck rate, base RTT, buffer depth (deep
+buffers vs. shallow/policed paths with drops), and the prevailing cross
+traffic (mostly inelastic, occasionally with an elastic flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..cc import Cubic, NullCC
+from ..simulator import Flow, mbps_to_bytes_per_sec
+from ..traffic import PoissonSource, WanTrafficGenerator, WanWorkloadConfig
+from .common import (
+    MAIN_FLOW,
+    ExperimentResult,
+    add_main_flow,
+    make_network,
+    queue_delay_stats,
+)
+
+
+@dataclass
+class PathProfile:
+    """One emulated Internet path."""
+
+    name: str
+    link_mbps: float
+    prop_rtt: float
+    buffer_ms: float
+    #: Offered inelastic cross-traffic load as a fraction of the link.
+    inelastic_load: float = 0.2
+    #: Whether a long-running elastic flow shares the path.
+    elastic_cross: bool = False
+    #: Whether to use a WAN flow-arrival mix instead of plain Poisson.
+    wan_mix: bool = False
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+#: A catalogue loosely modelled on the paper's path observations: most paths
+#: are deep-buffered with predominantly inelastic cross traffic; a few are
+#: shallow-buffered (drops/policers); a few see elastic competition.
+DEFAULT_PROFILES: List[PathProfile] = [
+    PathProfile("ec2-california-hostA", 40, 0.090, 200, 0.15,
+                description="deep buffer, light inelastic cross traffic"),
+    PathProfile("ec2-ireland-hostB", 90, 0.085, 150, 0.25,
+                description="deep buffer, moderate inelastic cross traffic"),
+    PathProfile("ec2-frankfurt-hostC", 30, 0.095, 25, 0.2,
+                description="shallow buffer / policer: frequent drops"),
+    PathProfile("ec2-london-hostD", 60, 0.070, 120, 0.3, wan_mix=True,
+                description="deep buffer, WAN mix cross traffic"),
+    PathProfile("ec2-paris-hostE", 50, 0.060, 100, 0.2, elastic_cross=True,
+                description="deep buffer with a competing elastic flow"),
+]
+
+DEFAULT_SCHEMES = ("nimbus", "cubic", "bbr", "vegas")
+
+
+def run_path(profile: PathProfile, scheme: str, duration: float = 40.0,
+             dt: float = 0.002, seed: int = 0):
+    """Run one scheme over one path profile; returns the network."""
+    network = make_network(profile.link_mbps, buffer_ms=profile.buffer_ms,
+                           dt=dt, seed=seed)
+    mu = mbps_to_bytes_per_sec(profile.link_mbps)
+    add_main_flow(network, scheme, profile.link_mbps,
+                  prop_rtt=profile.prop_rtt)
+    if profile.wan_mix:
+        generator = WanTrafficGenerator(network, WanWorkloadConfig(
+            link_rate=mu, load=profile.inelastic_load,
+            prop_rtt=profile.prop_rtt, seed=seed + 3))
+        generator.start()
+    elif profile.inelastic_load > 0:
+        network.add_flow(Flow(
+            cc=NullCC(), prop_rtt=profile.prop_rtt,
+            source=PoissonSource(profile.inelastic_load * mu, seed=seed + 3),
+            name="cross"))
+    if profile.elastic_cross:
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=profile.prop_rtt,
+                              name="cross-elastic"))
+    network.run(duration)
+    return network
+
+
+def run(profiles: Optional[Iterable[PathProfile]] = None,
+        schemes: Iterable[str] = ("nimbus", "cubic", "bbr", "vegas"),
+        duration: float = 40.0, dt: float = 0.002,
+        seed: int = 0) -> ExperimentResult:
+    """Run every scheme over every path profile (Figs. 18 and 19)."""
+    profiles = list(profiles) if profiles is not None else DEFAULT_PROFILES
+    result = ExperimentResult(
+        name="fig18_internet_paths",
+        parameters=dict(paths=[p.name for p in profiles],
+                        schemes=list(schemes), duration=duration))
+    per_path: Dict[str, Dict[str, dict]] = {}
+    warmup = duration / 4.0
+    for profile in profiles:
+        per_path[profile.name] = {}
+        for scheme in schemes:
+            network = run_path(profile, scheme, duration=duration, dt=dt,
+                               seed=seed)
+            recorder = network.recorder
+            label = f"{scheme}@{profile.name}"
+            scheme_result = result.add_scheme(
+                label, recorder, start=warmup, path=profile.name,
+                queue=queue_delay_stats(recorder, start=warmup))
+            rtt_ms = recorder.rtt_samples(MAIN_FLOW) * 1e3
+            per_path[profile.name][scheme] = {
+                "throughput_mbps": scheme_result.summary.mean_throughput_mbps,
+                "mean_delay_ms": scheme_result.summary.mean_delay_ms,
+                "mean_rtt_ms": float(rtt_ms.mean()) if rtt_ms.size else 0.0,
+            }
+    result.data["per_path"] = per_path
+    return result
+
+
+def run_appendix_a(profile: Optional[PathProfile] = None,
+                   duration: float = 40.0, dt: float = 0.002,
+                   seed: int = 0) -> ExperimentResult:
+    """Appendix A / Fig. 20: Cubic vs. the delay-control algorithm alone."""
+    profile = profile if profile is not None else DEFAULT_PROFILES[0]
+    result = ExperimentResult(
+        name="fig20_inelastic_paths",
+        parameters=dict(path=profile.name, duration=duration))
+    warmup = duration / 4.0
+    for scheme in ("cubic", "nimbus-delay"):
+        network = run_path(profile, scheme, duration=duration, dt=dt,
+                           seed=seed)
+        result.add_scheme(scheme, network.recorder, start=warmup,
+                          queue=queue_delay_stats(network.recorder,
+                                                  start=warmup))
+    return result

@@ -1,0 +1,51 @@
+"""Fluid-chunk network simulator: the reproduction's Mahimahi substitute.
+
+Exports the pieces needed to assemble an experiment: a bottleneck link with
+a queue policy, transport flows, application sources, and the tick-driven
+network engine.
+"""
+
+from .aqm import DropTail, Pie, QueuePolicy
+from .endpoint import Flow
+from .engine import Network
+from .link import BottleneckLink
+from .measurement import FlowMeasurement, WindowedCounter
+from .packet import Ack, Chunk, FlowStats, LossEvent
+from .source import BackloggedSource, FiniteSource, PacedSource, Source
+from .trace import Recorder
+from .units import (
+    BITS_PER_BYTE,
+    MSS_BYTES,
+    bdp_bytes,
+    bytes_per_sec_to_mbps,
+    mbps_to_bytes_per_sec,
+    ms_to_s,
+    s_to_ms,
+)
+
+__all__ = [
+    "Ack",
+    "BackloggedSource",
+    "BITS_PER_BYTE",
+    "BottleneckLink",
+    "Chunk",
+    "DropTail",
+    "Flow",
+    "FlowMeasurement",
+    "FlowStats",
+    "FiniteSource",
+    "LossEvent",
+    "MSS_BYTES",
+    "Network",
+    "PacedSource",
+    "Pie",
+    "QueuePolicy",
+    "Recorder",
+    "Source",
+    "WindowedCounter",
+    "bdp_bytes",
+    "bytes_per_sec_to_mbps",
+    "mbps_to_bytes_per_sec",
+    "ms_to_s",
+    "s_to_ms",
+]

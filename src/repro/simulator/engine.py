@@ -1,0 +1,179 @@
+"""The network engine: a tick-driven event loop over a shared bottleneck.
+
+This is the reproduction's substitute for the Mahimahi link emulator plus
+the Linux network stack.  Time advances in fixed ticks (1–2 ms).  Each tick:
+
+1. events whose time has arrived are delivered (chunk arrivals at the
+   receiver, ACKs back at senders, loss notifications, scheduled callbacks),
+2. every active flow is offered the chance to emit one chunk, which enters
+   the bottleneck queue immediately (senders are modelled as adjacent to the
+   bottleneck; the propagation delay is applied downstream and on the ACK
+   path, so the full round-trip time is preserved),
+3. the bottleneck serves up to ``capacity * dt`` bytes and the served chunks
+   are scheduled to arrive at their receivers after the downstream
+   propagation delay.
+
+Loss feedback is delivered to the sender one downstream-plus-ACK delay after
+the drop, which is when a real sender would observe duplicate ACKs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Iterable, List, Optional
+
+from .endpoint import Flow
+from .link import BottleneckLink
+from .packet import Ack, Chunk
+from .trace import Recorder
+
+
+class Network:
+    """A single-bottleneck network shared by an arbitrary set of flows.
+
+    Args:
+        link: The shared bottleneck link.
+        dt: Simulation tick in seconds.
+        seed: Seed for the network-level random number generator (exposed to
+            traffic generators for reproducibility).
+    """
+
+    #: Event kinds handled by the engine loop.
+    _DELIVER = 0
+    _ACK = 1
+    _LOSS = 2
+    _CALL = 3
+    _START = 4
+
+    def __init__(self, link: BottleneckLink, dt: float = 0.001,
+                 seed: int = 0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.link = link
+        self.dt = dt
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self.flows: List[Flow] = []
+        self.recorder = Recorder(self)
+        self._events: list = []
+        self._counter = itertools.count()
+        self._next_flow_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_flow(self, flow: Flow, start: Optional[float] = None) -> Flow:
+        """Register a flow; it starts at ``start`` (default ``flow.start_time``)."""
+        flow.flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        self.flows.append(flow)
+        start_time = flow.start_time if start is None else start
+        flow.start_time = start_time
+        if start_time <= self.now:
+            flow.start(self.now)
+        else:
+            self._push(start_time, self._START, flow)
+        return flow
+
+    def schedule_call(self, time: float, fn: Callable[[float], None]) -> None:
+        """Run ``fn(now)`` at the given simulation time (>= now)."""
+        self._push(max(time, self.now), self._CALL, fn)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: float) -> None:
+        """Advance the simulation until the given absolute time."""
+        while self.now < until - 1e-12:
+            self.step()
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.run(self.now + duration)
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        self.now += self.dt
+        now = self.now
+        self._dispatch_events(now)
+        self._emit_all(now)
+        self._serve_link(now)
+        self.recorder.on_tick(now)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: int, payload) -> None:
+        heapq.heappush(self._events, (time, next(self._counter), kind, payload))
+
+    def _dispatch_events(self, now: float) -> None:
+        events = self._events
+        while events and events[0][0] <= now + 1e-12:
+            _, _, kind, payload = heapq.heappop(events)
+            if kind == self._DELIVER:
+                self._deliver(payload, now)
+            elif kind == self._ACK:
+                ack, flow = payload
+                if not flow.finished:
+                    flow.handle_ack(ack, now)
+            elif kind == self._LOSS:
+                lost_bytes, flow = payload
+                if not flow.finished:
+                    flow.handle_loss(lost_bytes, now)
+            elif kind == self._CALL:
+                payload(now)
+            elif kind == self._START:
+                payload.start(now)
+
+    def _deliver(self, chunk: Chunk, now: float) -> None:
+        """Chunk reaches the receiver; generate the acknowledgement."""
+        flow = self.flows[chunk.flow_id]
+        ack = Ack(flow_id=chunk.flow_id, acked_bytes=chunk.size,
+                  sent_time=chunk.sent_time, queue_delay=chunk.queue_delay,
+                  delivered_time=now)
+        self.recorder.on_delivery(flow, chunk, now)
+        self._push(now + flow.delay_ack, self._ACK, (ack, flow))
+
+    def _emit_all(self, now: float) -> None:
+        # Rotate the service order every tick so that when the buffer is
+        # nearly full the tail-drop losses are shared across flows, as they
+        # would be with interleaved packets, instead of always falling on
+        # the flows that happen to be listed last.
+        n = len(self.flows)
+        if n == 0:
+            return
+        start = int(round(now / self.dt)) % n
+        for offset in range(n):
+            flow = self.flows[(start + offset) % n]
+            if not flow.active:
+                continue
+            chunk = flow.emit(now, self.dt)
+            if chunk is None:
+                continue
+            drops = self.link.enqueue(chunk, now)
+            for drop in drops:
+                feedback_delay = flow.delay_to_receiver + flow.delay_ack
+                self._push(now + feedback_delay, self._LOSS,
+                           (drop.lost_bytes, flow))
+
+    def _serve_link(self, now: float) -> None:
+        for chunk in self.link.service(now, self.dt):
+            flow = self.flows[chunk.flow_id]
+            self._push(now + flow.delay_to_receiver, self._DELIVER, chunk)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by experiments
+    # ------------------------------------------------------------------ #
+    def active_flows(self) -> Iterable[Flow]:
+        """Flows that have started and not yet completed."""
+        return (f for f in self.flows if f.active)
+
+    def flows_named(self, name: str) -> List[Flow]:
+        """All flows whose label equals ``name``."""
+        return [f for f in self.flows if f.name == name]
+
+    def __repr__(self) -> str:
+        return (f"Network(link={self.link!r}, dt={self.dt}, "
+                f"flows={len(self.flows)})")

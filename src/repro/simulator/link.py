@@ -1,0 +1,130 @@
+"""Bottleneck link model: a FIFO queue drained at a fixed rate.
+
+This is the simulator's stand-in for the Mahimahi bottleneck used in the
+paper.  Chunks from all flows share a single first-in-first-out queue whose
+admission is governed by a :class:`~repro.simulator.aqm.QueuePolicy`
+(drop-tail by default, PIE optionally).  The link drains at ``capacity``
+bytes per second; each dequeued chunk records the queueing delay it
+experienced, which downstream becomes the per-packet queueing delay the
+paper plots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+from .aqm import DropTail, QueuePolicy
+from .packet import Chunk
+
+
+@dataclass
+class DropRecord:
+    """Bytes dropped for a flow at a given time."""
+
+    flow_id: int
+    lost_bytes: float
+    time: float
+
+
+class BottleneckLink:
+    """Single shared bottleneck with a FIFO queue.
+
+    Args:
+        capacity: Link rate in bytes per second.
+        policy: Queue admission policy; defaults to an effectively infinite
+            drop-tail buffer if omitted.
+        name: Optional label used in reprs and traces.
+    """
+
+    def __init__(self, capacity: float, policy: QueuePolicy | None = None,
+                 name: str = "bottleneck") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.policy = policy if policy is not None else DropTail(1e15)
+        self.name = name
+        self._queue: Deque[Chunk] = deque()
+        self.queue_bytes = 0.0
+        self.total_drops: float = 0.0
+        self.total_served: float = 0.0
+        #: Unused service capacity carried over between ticks (bytes).  The
+        #: link is work-conserving: it never accumulates credit while idle.
+        self._service_credit = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queue state
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_delay(self) -> float:
+        """Current queueing delay in seconds if the queue drains at capacity."""
+        return self.queue_bytes / self.capacity
+
+    def occupancy_of(self, flow_id: int) -> float:
+        """Bytes currently queued that belong to ``flow_id``.
+
+        Used to compute the "self-inflicted" delay of Figure 3.
+        """
+        return sum(c.size for c in self._queue if c.flow_id == flow_id)
+
+    # ------------------------------------------------------------------ #
+    # Enqueue / dequeue
+    # ------------------------------------------------------------------ #
+    def enqueue(self, chunk: Chunk, now: float) -> list[DropRecord]:
+        """Admit a chunk (possibly partially) to the queue.
+
+        Returns a list of drop records for any bytes that were not admitted.
+        """
+        drops: list[DropRecord] = []
+        admitted = self.policy.admit(chunk.size, self.queue_bytes,
+                                     self.queue_delay, now)
+        admitted = max(0.0, min(chunk.size, admitted))
+        lost = chunk.size - admitted
+        if lost > 1e-9:
+            drops.append(DropRecord(chunk.flow_id, lost, now))
+            self.total_drops += lost
+        if admitted > 1e-9:
+            chunk.size = admitted
+            chunk.enqueue_time = now
+            self._queue.append(chunk)
+            self.queue_bytes += admitted
+        return drops
+
+    def service(self, now: float, dt: float) -> list[Chunk]:
+        """Drain up to ``capacity * dt`` bytes from the head of the queue.
+
+        Returns the dequeued chunks with their ``queue_delay`` populated.
+        The departure time of every chunk served in this interval is ``now``
+        (end of the tick); with millisecond ticks the rounding is far below
+        the delays of interest.
+        """
+        budget = self.capacity * dt + self._service_credit
+        served: list[Chunk] = []
+        while self._queue and budget > 1e-9:
+            head = self._queue[0]
+            if head.size <= budget + 1e-9:
+                self._queue.popleft()
+                take = head
+                budget -= head.size
+            else:
+                take = head.split(budget)
+                budget = 0.0
+            take.queue_delay += max(0.0, now - take.enqueue_time)
+            self.queue_bytes -= take.size
+            self.total_served += take.size
+            self.policy.on_dequeue(take.size, self.queue_delay, now)
+            served.append(take)
+        # A work-conserving link does not bank credit while idle.
+        self._service_credit = budget if self._queue else 0.0
+        if self.queue_bytes < 1e-9:
+            self.queue_bytes = 0.0
+        return served
+
+    def iter_queue(self) -> Iterable[Chunk]:
+        """Iterate over queued chunks from head to tail (read-only)."""
+        return iter(self._queue)
+
+    def __repr__(self) -> str:
+        return (f"BottleneckLink(name={self.name!r}, "
+                f"capacity={self.capacity:.0f} B/s, policy={self.policy!r})")

@@ -1,0 +1,113 @@
+"""Data units exchanged inside the simulator.
+
+The simulator is a *fluid-chunk* model: instead of individual 1500-byte
+packets, each sender emits one "chunk" of bytes per simulation tick.  A chunk
+carries enough metadata (send time, sequence range, accumulated queueing
+delay) for the receiving endpoint to produce the acknowledgement stream that
+congestion-control algorithms consume.  This keeps event counts proportional
+to ``flows x ticks`` rather than ``flows x packets`` while preserving the
+dynamics the paper's elasticity detector depends on: ACK clocking, queue
+build-up and drain, and drop feedback after roughly one round-trip time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Chunk:
+    """A contiguous run of bytes in flight from a sender.
+
+    Attributes:
+        flow_id: Identifier of the flow that emitted the chunk.
+        size: Number of bytes in the chunk (may shrink if partially dropped).
+        seq: Byte offset of the first byte of the chunk within the flow.
+        sent_time: Simulation time at which the sender emitted the chunk.
+        enqueue_time: Time the chunk entered the bottleneck queue (set by the
+            link), used to compute its queueing delay.
+        queue_delay: Total queueing delay experienced so far, in seconds.
+    """
+
+    flow_id: int
+    size: float
+    seq: float
+    sent_time: float
+    enqueue_time: float = 0.0
+    queue_delay: float = 0.0
+
+    def split(self, first_bytes: float) -> "Chunk":
+        """Split off the first ``first_bytes`` bytes into a new chunk.
+
+        The remaining bytes stay in ``self``.  Used when the bottleneck link
+        can only serve part of a chunk within one service opportunity.
+        """
+        if first_bytes <= 0 or first_bytes >= self.size:
+            raise ValueError(
+                f"split size {first_bytes} must be in (0, {self.size})"
+            )
+        head = Chunk(
+            flow_id=self.flow_id,
+            size=first_bytes,
+            seq=self.seq,
+            sent_time=self.sent_time,
+            enqueue_time=self.enqueue_time,
+            queue_delay=self.queue_delay,
+        )
+        self.seq += first_bytes
+        self.size -= first_bytes
+        return head
+
+
+@dataclass
+class Ack:
+    """Acknowledgement returned from a receiver to a sender.
+
+    Attributes:
+        flow_id: Flow being acknowledged.
+        acked_bytes: Number of newly delivered bytes covered by this ACK.
+        sent_time: Send timestamp echoed from the acknowledged chunk,
+            allowing the sender to measure the round-trip time.
+        queue_delay: Queueing delay experienced by the acknowledged chunk.
+        delivered_time: Time the chunk reached the receiver.
+    """
+
+    flow_id: int
+    acked_bytes: float
+    sent_time: float
+    queue_delay: float
+    delivered_time: float
+
+
+@dataclass
+class LossEvent:
+    """Notification that bytes were dropped at the bottleneck.
+
+    Delivered to the sender roughly one feedback delay after the drop, which
+    is when a real TCP sender would learn of the loss through duplicate ACKs.
+    """
+
+    flow_id: int
+    lost_bytes: float
+    drop_time: float
+
+
+@dataclass
+class FlowStats:
+    """Aggregate per-flow accounting maintained by the engine."""
+
+    bytes_sent: float = 0.0
+    bytes_delivered: float = 0.0
+    bytes_lost: float = 0.0
+    start_time: float = 0.0
+    end_time: float | None = None
+    rtt_samples: int = 0
+    rtt_sum: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean of all RTT samples observed by the flow (seconds)."""
+        if self.rtt_samples == 0:
+            return 0.0
+        return self.rtt_sum / self.rtt_samples

@@ -1,0 +1,183 @@
+"""Time-series recording for experiments.
+
+The :class:`Recorder` observes deliveries and queue state as the engine
+runs, binning them into fixed-width intervals.  Experiment drivers query it
+for the same series the paper plots: per-flow throughput over time,
+per-packet queueing delay, the bottleneck queue delay, and the operating
+mode of mode-switching algorithms (Nimbus, Copa).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .units import bytes_per_sec_to_mbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .endpoint import Flow
+    from .engine import Network
+    from .packet import Chunk
+
+
+class _FlowRecord:
+    """Per-flow accumulation buckets."""
+
+    def __init__(self) -> None:
+        self.bytes_by_bin: Dict[int, float] = defaultdict(float)
+        self.qdelay_sum: Dict[int, float] = defaultdict(float)
+        self.qdelay_cnt: Dict[int, int] = defaultdict(int)
+        self.qdelay_samples: List[float] = []
+        self.rtt_samples: List[float] = []
+        self.mode_by_bin: Dict[int, str] = {}
+
+
+class Recorder:
+    """Bins deliveries and queue observations into fixed-width intervals."""
+
+    def __init__(self, network: "Network", bin_width: float = 0.1) -> None:
+        self.network = network
+        self.bin_width = bin_width
+        self._flows: Dict[int, _FlowRecord] = defaultdict(_FlowRecord)
+        self._names: Dict[int, str] = {}
+        self._link_qdelay_sum: Dict[int, float] = defaultdict(float)
+        self._link_qdelay_cnt: Dict[int, int] = defaultdict(int)
+        self._max_bin = 0
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the engine
+    # ------------------------------------------------------------------ #
+    def on_delivery(self, flow: "Flow", chunk: "Chunk", now: float) -> None:
+        b = self._bin(now)
+        rec = self._flows[flow.flow_id]
+        self._names[flow.flow_id] = flow.name
+        rec.bytes_by_bin[b] += chunk.size
+        rec.qdelay_sum[b] += chunk.queue_delay * chunk.size
+        rec.qdelay_cnt[b] += 1
+        rec.qdelay_samples.append(chunk.queue_delay)
+        self._max_bin = max(self._max_bin, b)
+
+    def on_tick(self, now: float) -> None:
+        b = self._bin(now)
+        self._link_qdelay_sum[b] += self.network.link.queue_delay
+        self._link_qdelay_cnt[b] += 1
+        self._max_bin = max(self._max_bin, b)
+        for flow in self.network.flows:
+            if not flow.active:
+                continue
+            mode = getattr(flow.cc, "mode", None)
+            if mode is not None:
+                rec = self._flows[flow.flow_id]
+                self._names[flow.flow_id] = flow.name
+                rec.mode_by_bin[b] = mode
+            rtt = flow.measurement.rtt
+            if rtt > 0:
+                self._flows[flow.flow_id].rtt_samples.append(rtt)
+
+    # ------------------------------------------------------------------ #
+    # Series extraction
+    # ------------------------------------------------------------------ #
+    def times(self) -> np.ndarray:
+        """Centre time of every bin recorded so far."""
+        return (np.arange(self._max_bin + 1) + 0.5) * self.bin_width
+
+    def throughput_series(self, name: Optional[str] = None,
+                          flow_id: Optional[int] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) delivered throughput, aggregated over matching flows."""
+        ids = self._select(name, flow_id)
+        nbins = self._max_bin + 1
+        series = np.zeros(nbins)
+        for fid in ids:
+            rec = self._flows[fid]
+            for b, nbytes in rec.bytes_by_bin.items():
+                series[b] += nbytes
+        rate = series / self.bin_width
+        return self.times(), bytes_per_sec_to_mbps(rate)
+
+    def queue_delay_series(self, name: Optional[str] = None,
+                           flow_id: Optional[int] = None
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, ms) byte-weighted mean per-packet queueing delay per bin."""
+        ids = self._select(name, flow_id)
+        nbins = self._max_bin + 1
+        dsum = np.zeros(nbins)
+        bsum = np.zeros(nbins)
+        for fid in ids:
+            rec = self._flows[fid]
+            for b, s in rec.qdelay_sum.items():
+                dsum[b] += s
+                bsum[b] += rec.bytes_by_bin[b]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(bsum > 0, dsum / np.maximum(bsum, 1e-12), 0.0)
+        return self.times(), mean * 1e3
+
+    def link_queue_delay_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, ms) average bottleneck queueing delay per bin."""
+        nbins = self._max_bin + 1
+        series = np.zeros(nbins)
+        for b in range(nbins):
+            cnt = self._link_qdelay_cnt.get(b, 0)
+            if cnt:
+                series[b] = self._link_qdelay_sum[b] / cnt
+        return self.times(), series * 1e3
+
+    def mode_series(self, name: Optional[str] = None,
+                    flow_id: Optional[int] = None
+                    ) -> Tuple[np.ndarray, List[Optional[str]]]:
+        """(times, mode labels) for mode-switching flows; None where unknown."""
+        ids = self._select(name, flow_id)
+        nbins = self._max_bin + 1
+        modes: List[Optional[str]] = [None] * nbins
+        for fid in ids:
+            for b, mode in self._flows[fid].mode_by_bin.items():
+                modes[b] = mode
+        return self.times(), modes
+
+    def queue_delay_samples(self, name: Optional[str] = None,
+                            flow_id: Optional[int] = None) -> np.ndarray:
+        """All per-chunk queueing delay samples (seconds) for matching flows."""
+        ids = self._select(name, flow_id)
+        samples: List[float] = []
+        for fid in ids:
+            samples.extend(self._flows[fid].qdelay_samples)
+        return np.asarray(samples)
+
+    def rtt_samples(self, name: Optional[str] = None,
+                    flow_id: Optional[int] = None) -> np.ndarray:
+        """All RTT samples (seconds) observed by matching flows."""
+        ids = self._select(name, flow_id)
+        samples: List[float] = []
+        for fid in ids:
+            samples.extend(self._flows[fid].rtt_samples)
+        return np.asarray(samples)
+
+    def mean_throughput(self, name: Optional[str] = None,
+                        flow_id: Optional[int] = None,
+                        start: float = 0.0,
+                        end: Optional[float] = None) -> float:
+        """Mean delivered throughput in Mbit/s over [start, end]."""
+        times, series = self.throughput_series(name, flow_id)
+        if len(times) == 0:
+            return 0.0
+        end = end if end is not None else times[-1] + self.bin_width / 2
+        mask = (times >= start) & (times <= end)
+        if not mask.any():
+            return 0.0
+        return float(np.mean(series[mask]))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _bin(self, now: float) -> int:
+        return int(math.floor(now / self.bin_width))
+
+    def _select(self, name: Optional[str], flow_id: Optional[int]) -> List[int]:
+        if flow_id is not None:
+            return [flow_id]
+        if name is None:
+            return list(self._flows.keys())
+        return [fid for fid, n in self._names.items() if n == name]

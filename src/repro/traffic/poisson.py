@@ -1,0 +1,77 @@
+"""Inelastic traffic sources: Poisson packet arrivals and constant bit rate.
+
+The paper's inelastic cross traffic is either a constant-bit-rate stream or
+"Poisson packet arrivals at the specified mean rate" (§5).  Both are
+application-limited: the transport sends whatever the application produces,
+so the sending rate never reacts to the network.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..simulator.source import PacedSource, Source
+from ..simulator.units import MSS_BYTES
+
+
+class PoissonSource(Source):
+    """Packets arrive from the application as a Poisson process.
+
+    Each arrival contributes one packet of ``packet_bytes``; the arrival
+    rate is ``rate / packet_bytes`` per second so the long-run offered load
+    is exactly ``rate`` bytes per second, but with the short-term variance
+    of a Poisson process — the variance that produces the "false peaks" in
+    the FFT the paper discusses (§3.4, §8.2).
+    """
+
+    def __init__(self, rate: float, packet_bytes: float = MSS_BYTES,
+                 seed: int = 0, max_backlog: float | None = None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        self.rate = rate
+        self.packet_bytes = packet_bytes
+        self.max_backlog = max_backlog
+        self._rng = random.Random(seed)
+        self._backlog = 0.0
+        self._next_arrival = 0.0
+        self._initialised = False
+
+    def advance(self, now: float, dt: float) -> None:
+        if not self._initialised:
+            self._next_arrival = now + self._sample_gap()
+            self._initialised = True
+        while self._next_arrival <= now:
+            self._backlog += self.packet_bytes
+            self._next_arrival += self._sample_gap()
+        if self.max_backlog is not None:
+            self._backlog = min(self._backlog, self.max_backlog)
+
+    def available(self, now: float) -> float:
+        return self._backlog
+
+    def consume(self, nbytes: float, now: float) -> None:
+        self._backlog = max(0.0, self._backlog - nbytes)
+
+    def _sample_gap(self) -> float:
+        mean_gap = self.packet_bytes / self.rate
+        return self._rng.expovariate(1.0 / mean_gap)
+
+    def __repr__(self) -> str:
+        return f"PoissonSource(rate={self.rate:.0f} B/s)"
+
+
+class CbrSource(PacedSource):
+    """Constant-bit-rate stream (alias of PacedSource with a bounded backlog).
+
+    The bounded backlog means that if the network briefly cannot carry the
+    stream, the excess is discarded rather than accumulated — matching how a
+    real-time CBR stream behaves.
+    """
+
+    def __init__(self, rate: float, max_backlog_packets: float = 64.0) -> None:
+        super().__init__(rate, max_backlog=max_backlog_packets * MSS_BYTES)
+
+    def __repr__(self) -> str:
+        return f"CbrSource(rate={self.rate:.0f} B/s)"

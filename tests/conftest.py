@@ -1,0 +1,48 @@
+"""Shared pytest fixtures and path setup for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import quick_network  # noqa: E402
+from repro.simulator import Flow, mbps_to_bytes_per_sec  # noqa: E402
+from repro.cc import Cubic, NullCC  # noqa: E402
+from repro.traffic import PoissonSource  # noqa: E402
+
+
+@pytest.fixture
+def small_network():
+    """A 24 Mbit/s, 100 ms-buffer network with a coarse tick for fast tests."""
+    network, link = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+    return network, link
+
+
+@pytest.fixture
+def mu_24() -> float:
+    """Link rate of the small_network fixture, in bytes/s."""
+    return mbps_to_bytes_per_sec(24)
+
+
+def add_cubic(network, rtt: float = 0.05, name: str = "cubic") -> Flow:
+    """Convenience used by several test modules."""
+    flow = Flow(cc=Cubic(), prop_rtt=rtt, name=name)
+    network.add_flow(flow)
+    return flow
+
+
+def add_poisson(network, rate: float, rtt: float = 0.05,
+                name: str = "poisson", seed: int = 1) -> Flow:
+    """Add an inelastic Poisson cross flow."""
+    flow = Flow(cc=NullCC(), prop_rtt=rtt,
+                source=PoissonSource(rate, seed=seed), name=name)
+    network.add_flow(flow)
+    return flow

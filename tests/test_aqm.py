@@ -1,0 +1,62 @@
+"""Queue admission policies: DropTail and PIE."""
+
+import pytest
+
+from repro.simulator.aqm import DropTail, Pie
+
+
+class TestDropTail:
+    def test_admit_all_when_empty(self):
+        policy = DropTail(buffer_bytes=10_000)
+        assert policy.admit(1500, 0.0, 0.0, now=0.0) == pytest.approx(1500)
+
+    def test_partial_admit_near_full(self):
+        policy = DropTail(buffer_bytes=10_000)
+        assert policy.admit(1500, 9_000, 0.0, now=0.0) == pytest.approx(1000)
+
+    def test_reject_when_full(self):
+        policy = DropTail(buffer_bytes=10_000)
+        assert policy.admit(1500, 10_000, 0.0, now=0.0) == 0.0
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            DropTail(buffer_bytes=0)
+
+
+class TestPie:
+    def test_no_drops_below_target(self):
+        pie = Pie(target_delay=0.02, buffer_bytes=100_000)
+        admitted = [pie.admit(1500, 1000, 0.001, now=t * 0.01)
+                    for t in range(100)]
+        assert all(a == pytest.approx(1500) for a in admitted)
+
+    def test_drop_probability_grows_above_target(self):
+        pie = Pie(target_delay=0.02, buffer_bytes=1e9)
+        for t in range(200):
+            pie.admit(1500, 50_000, 0.2, now=t * 0.02)
+        assert pie.drop_prob > 0.0
+
+    def test_drop_probability_recovers(self):
+        pie = Pie(target_delay=0.02, buffer_bytes=1e9)
+        for t in range(200):
+            pie.admit(1500, 50_000, 0.2, now=t * 0.02)
+        high = pie.drop_prob
+        for t in range(200, 600):
+            pie.admit(1500, 100, 0.0, now=t * 0.02)
+        assert pie.drop_prob < high
+
+    def test_hard_buffer_cap(self):
+        pie = Pie(target_delay=0.02, buffer_bytes=10_000)
+        assert pie.admit(1500, 10_000, 0.5, now=0.0) == 0.0
+
+    def test_drop_prob_bounded(self):
+        pie = Pie(target_delay=0.001, buffer_bytes=1e9)
+        for t in range(1000):
+            pie.admit(1500, 1e6, 1.0, now=t * 0.02)
+        assert 0.0 <= pie.drop_prob <= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Pie(target_delay=0.0, buffer_bytes=1000)
+        with pytest.raises(ValueError):
+            Pie(target_delay=0.01, buffer_bytes=0)

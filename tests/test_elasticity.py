@@ -1,0 +1,150 @@
+"""Elasticity detection: the FFT metric (Eq. 3), detectors, and the
+cross-correlation strawman."""
+
+import numpy as np
+import pytest
+
+from repro.core.elasticity import (
+    ElasticityDetector,
+    PulserDetector,
+    band_peak,
+    cross_correlation_detector,
+    elasticity_metric,
+    fft_magnitude,
+    magnitude_at,
+)
+
+SAMPLE_INTERVAL = 0.01
+FP = 5.0
+RNG = np.random.default_rng(42)
+
+
+def sine_at(frequency, duration=5.0, amplitude=1.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(0, duration, SAMPLE_INTERVAL)
+    signal = amplitude * np.sin(2 * np.pi * frequency * t)
+    if noise:
+        signal = signal + rng.normal(0, noise, size=t.size)
+    return signal
+
+
+class TestFftHelpers:
+    def test_fft_peak_location(self):
+        freqs, mags = fft_magnitude(sine_at(FP), SAMPLE_INTERVAL)
+        assert freqs[np.argmax(mags)] == pytest.approx(FP, abs=0.2)
+
+    def test_magnitude_at(self):
+        freqs, mags = fft_magnitude(sine_at(FP), SAMPLE_INTERVAL)
+        assert magnitude_at(freqs, mags, FP) == pytest.approx(0.5, rel=0.05)
+
+    def test_band_peak_excludes_endpoints(self):
+        freqs = np.array([5.0, 6.0, 7.0, 10.0])
+        mags = np.array([9.0, 1.0, 2.0, 8.0])
+        assert band_peak(freqs, mags, 5.0, 10.0) == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        freqs, mags = fft_magnitude([], SAMPLE_INTERVAL)
+        assert freqs.size == 0
+        assert magnitude_at(freqs, mags, FP) == 0.0
+        assert band_peak(freqs, mags, 1, 2) == 0.0
+
+    def test_dc_removed(self):
+        freqs, mags = fft_magnitude(np.full(500, 7.0), SAMPLE_INTERVAL)
+        assert mags.max() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestElasticityMetric:
+    def test_high_for_oscillation_at_fp(self):
+        eta = elasticity_metric(sine_at(FP, noise=0.05), SAMPLE_INTERVAL, FP)
+        assert eta > 5.0
+
+    def test_low_for_white_noise(self):
+        noise = RNG.normal(0, 1.0, size=500)
+        eta = elasticity_metric(noise, SAMPLE_INTERVAL, FP)
+        assert eta < 2.0
+
+    def test_low_for_oscillation_elsewhere(self):
+        eta = elasticity_metric(sine_at(7.5, noise=0.05), SAMPLE_INTERVAL, FP)
+        assert eta < 1.0
+
+    def test_scale_invariance(self):
+        signal = sine_at(FP, noise=0.1, seed=3)
+        eta1 = elasticity_metric(signal, SAMPLE_INTERVAL, FP)
+        eta2 = elasticity_metric(signal * 1000.0, SAMPLE_INTERVAL, FP)
+        assert eta1 == pytest.approx(eta2, rel=1e-9)
+
+    def test_too_few_samples(self):
+        assert elasticity_metric([1.0, 2.0, 3.0], SAMPLE_INTERVAL, FP) == 0.0
+
+    def test_mixture_scales_with_elastic_amplitude(self):
+        noise = RNG.normal(0, 1.0, size=500)
+        weak = elasticity_metric(noise + 0.3 * sine_at(FP, seed=1),
+                                 SAMPLE_INTERVAL, FP)
+        strong = elasticity_metric(noise + 3.0 * sine_at(FP, seed=1),
+                                   SAMPLE_INTERVAL, FP)
+        assert strong > weak
+
+
+class TestElasticityDetector:
+    def test_classifies_elastic(self):
+        detector = ElasticityDetector()
+        result = detector.evaluate(sine_at(FP, noise=0.1))
+        assert result.elastic
+        assert result.eta >= detector.threshold
+
+    def test_classifies_inelastic(self):
+        detector = ElasticityDetector()
+        result = detector.evaluate(RNG.normal(0, 1.0, size=500))
+        assert not result.elastic
+
+    def test_uses_trailing_window_only(self):
+        detector = ElasticityDetector(fft_duration=5.0)
+        old = RNG.normal(0, 1.0, size=1000)
+        recent = sine_at(FP, noise=0.05)
+        result = detector.evaluate(np.concatenate([old, recent]))
+        assert result.elastic
+
+    def test_window_samples(self):
+        detector = ElasticityDetector(sample_interval=0.01, fft_duration=5.0)
+        assert detector.window_samples == 500
+        assert detector.has_full_window(np.zeros(500))
+        assert not detector.has_full_window(np.zeros(499))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ElasticityDetector(threshold=0.5)
+
+
+class TestPulserDetector:
+    def test_detects_competitive_frequency(self):
+        detector = PulserDetector()
+        present, mode, _, _ = detector.evaluate(sine_at(5.0, noise=0.05))
+        assert present and mode == "competitive"
+
+    def test_detects_delay_frequency(self):
+        detector = PulserDetector()
+        present, mode, _, _ = detector.evaluate(sine_at(6.0, noise=0.05))
+        assert present and mode == "delay"
+
+    def test_no_pulser(self):
+        detector = PulserDetector()
+        present, mode, _, _ = detector.evaluate(RNG.normal(0, 1.0, size=500))
+        assert not present and mode is None
+
+
+class TestCrossCorrelationStrawman:
+    def test_detects_correlated_response(self):
+        s = sine_at(FP, seed=1)
+        z = -np.roll(s, 5) + RNG.normal(0, 0.05, size=s.size)
+        peak, elastic = cross_correlation_detector(s, z)
+        assert elastic and peak > 0.5
+
+    def test_rejects_uncorrelated(self):
+        s = sine_at(FP, seed=1)
+        z = RNG.normal(0, 1.0, size=s.size)
+        _, elastic = cross_correlation_detector(s, z)
+        assert not elastic
+
+    def test_short_input(self):
+        peak, elastic = cross_correlation_detector([1, 2], [3, 4])
+        assert peak == 0.0 and not elastic

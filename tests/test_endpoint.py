@@ -1,0 +1,143 @@
+"""Transport endpoint (Flow): emission limits, feedback handling, lifecycle."""
+
+import pytest
+
+from repro.cc.base import CongestionControl, NullCC
+from repro.cc.cubic import Cubic
+from repro.simulator.endpoint import Flow
+from repro.simulator.packet import Ack
+from repro.simulator.source import FiniteSource, PacedSource
+from repro.simulator.units import MSS_BYTES
+
+
+class WindowOnly(CongestionControl):
+    """Fixed window, no pacing."""
+
+    name = "window-only"
+
+    def __init__(self, window):
+        super().__init__()
+        self.cwnd = window
+
+
+class RateOnly(CongestionControl):
+    """Fixed pacing rate, no window."""
+
+    name = "rate-only"
+
+    def __init__(self, rate):
+        super().__init__()
+        self.cwnd = None
+        self.rate = rate
+
+
+def started_flow(cc, **kwargs) -> Flow:
+    flow = Flow(cc=cc, prop_rtt=0.05, **kwargs)
+    flow.flow_id = 0
+    flow.start(0.0)
+    return flow
+
+
+class TestEmission:
+    def test_window_limits_inflight(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        chunk = flow.emit(0.01, 0.01)
+        assert chunk is not None
+        assert chunk.size == pytest.approx(10 * MSS_BYTES)
+        # Window is now full: nothing further until an ACK returns.
+        assert flow.emit(0.02, 0.01) is None
+
+    def test_pacing_limits_rate(self):
+        flow = started_flow(RateOnly(1e6))
+        sent = 0.0
+        for i in range(1, 101):
+            chunk = flow.emit(i * 0.01, 0.01)
+            if chunk:
+                sent += chunk.size
+        assert sent == pytest.approx(1e6 * 1.0, rel=0.1)
+
+    def test_app_limited(self):
+        flow = started_flow(WindowOnly(100 * MSS_BYTES),
+                            source=PacedSource(rate=1e5))
+        chunk = flow.emit(0.01, 0.01)
+        assert chunk is not None
+        assert chunk.size <= 1e5 * 0.01 + 1e-6
+
+    def test_not_started_does_not_emit(self):
+        flow = Flow(cc=WindowOnly(10 * MSS_BYTES), prop_rtt=0.05)
+        assert flow.emit(0.01, 0.01) is None
+
+    def test_sequence_numbers_advance(self):
+        flow = started_flow(RateOnly(1e6))
+        c1 = flow.emit(0.01, 0.01)
+        c2 = flow.emit(0.02, 0.01)
+        assert c2.seq == pytest.approx(c1.seq + c1.size)
+
+    def test_max_burst_cap(self):
+        flow = started_flow(WindowOnly(100 * MSS_BYTES),
+                            max_burst_bytes=2 * MSS_BYTES)
+        chunk = flow.emit(0.01, 0.01)
+        assert chunk.size <= 2 * MSS_BYTES
+
+
+class TestFeedback:
+    def test_ack_frees_window(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        chunk = flow.emit(0.01, 0.01)
+        ack = Ack(flow_id=0, acked_bytes=chunk.size, sent_time=chunk.sent_time,
+                  queue_delay=0.0, delivered_time=0.05)
+        flow.handle_ack(ack, 0.06)
+        assert flow.inflight == pytest.approx(0.0)
+        assert flow.emit(0.07, 0.01) is not None
+
+    def test_ack_updates_measurement(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        chunk = flow.emit(0.01, 0.01)
+        ack = Ack(flow_id=0, acked_bytes=chunk.size, sent_time=chunk.sent_time,
+                  queue_delay=0.005, delivered_time=0.06)
+        flow.handle_ack(ack, 0.07)
+        assert flow.measurement.rtt == pytest.approx(0.06)
+        assert flow.measurement.queue_delay == pytest.approx(0.005)
+
+    def test_loss_frees_window_and_counts(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        chunk = flow.emit(0.01, 0.01)
+        flow.handle_loss(chunk.size / 2, 0.1)
+        assert flow.inflight == pytest.approx(chunk.size / 2)
+        assert flow.stats.bytes_lost == pytest.approx(chunk.size / 2)
+
+    def test_loss_invokes_cc(self):
+        cubic = Cubic()
+        flow = started_flow(cubic)
+        flow.emit(0.01, 0.01)
+        before = cubic.cwnd
+        flow.handle_loss(1500, 0.1)
+        assert cubic.cwnd < before
+
+
+class TestLifecycle:
+    def test_finite_flow_completes(self):
+        flow = started_flow(WindowOnly(100 * MSS_BYTES),
+                            source=FiniteSource(3000))
+        chunk = flow.emit(0.01, 0.01)
+        assert chunk.size == pytest.approx(3000)
+        ack = Ack(flow_id=0, acked_bytes=3000, sent_time=chunk.sent_time,
+                  queue_delay=0.0, delivered_time=0.05)
+        flow.handle_ack(ack, 0.06)
+        assert flow.finished
+        assert flow.fct == pytest.approx(0.06)
+
+    def test_stop(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        flow.stop(5.0)
+        assert flow.finished
+        assert not flow.active
+        assert flow.stats.end_time == pytest.approx(5.0)
+
+    def test_invalid_rtt(self):
+        with pytest.raises(ValueError):
+            Flow(cc=NullCC(), prop_rtt=0.0)
+
+    def test_fct_none_while_running(self):
+        flow = started_flow(WindowOnly(10 * MSS_BYTES))
+        assert flow.fct is None

@@ -1,0 +1,119 @@
+"""Network engine: event delivery, RTTs, dynamic flows, callbacks."""
+
+import pytest
+
+from repro import quick_network
+from repro.cc import Cubic, NullCC
+from repro.simulator import Flow, FiniteSource, mbps_to_bytes_per_sec
+from repro.simulator.source import PacedSource
+
+
+class TestBasicOperation:
+    def test_single_flow_saturates_link(self, small_network):
+        network, link = small_network
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="cubic"))
+        network.run(15.0)
+        tput = network.recorder.mean_throughput("cubic", start=5.0)
+        assert tput == pytest.approx(24.0, rel=0.1)
+
+    def test_rtt_at_least_propagation(self, small_network):
+        network, _ = small_network
+        flow = Flow(cc=Cubic(), prop_rtt=0.08, name="cubic")
+        network.add_flow(flow)
+        network.run(5.0)
+        assert flow.measurement.min_rtt >= 0.08 - 1e-9
+        # And not wildly larger than propagation plus the buffer (100 ms).
+        assert flow.measurement.min_rtt < 0.08 + 0.02
+
+    def test_paced_flow_receives_its_rate(self, small_network, mu_24):
+        network, _ = small_network
+        rate = 0.25 * mu_24
+        network.add_flow(Flow(cc=NullCC(), prop_rtt=0.05,
+                              source=PacedSource(rate), name="cbr"))
+        network.run(10.0)
+        tput = network.recorder.mean_throughput("cbr", start=2.0)
+        assert tput == pytest.approx(6.0, rel=0.1)
+
+    def test_delivered_never_exceeds_sent(self, small_network):
+        network, _ = small_network
+        flow = Flow(cc=Cubic(), prop_rtt=0.05, name="cubic")
+        network.add_flow(flow)
+        network.run(8.0)
+        assert flow.stats.bytes_delivered <= flow.stats.bytes_sent + 1e-6
+
+    def test_run_for(self, small_network):
+        network, _ = small_network
+        network.run_for(1.0)
+        assert network.now == pytest.approx(1.0, abs=0.01)
+
+
+class TestDynamicFlows:
+    def test_delayed_start(self, small_network):
+        network, _ = small_network
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="late",
+                              start_time=5.0))
+        network.run(4.0)
+        assert network.recorder.mean_throughput("late", start=0.0) == 0.0
+        network.run(10.0)
+        assert network.recorder.mean_throughput("late", start=6.0) > 1.0
+
+    def test_schedule_call(self, small_network):
+        network, _ = small_network
+        calls = []
+        network.schedule_call(2.0, lambda now: calls.append(now))
+        network.run(3.0)
+        assert len(calls) == 1
+        assert calls[0] == pytest.approx(2.0, abs=0.01)
+
+    def test_finite_flow_completion(self, small_network):
+        network, _ = small_network
+        flow = Flow(cc=Cubic(), prop_rtt=0.05, source=FiniteSource(200e3),
+                    name="finite")
+        network.add_flow(flow)
+        network.run(20.0)
+        assert flow.finished
+        assert flow.fct is not None
+        assert flow.fct > 0.05  # at least one RTT
+
+    def test_stop_releases_bandwidth(self, small_network):
+        network, _ = small_network
+        cross = Flow(cc=Cubic(), prop_rtt=0.05, name="cross")
+        main = Flow(cc=Cubic(), prop_rtt=0.05, name="main")
+        network.add_flow(cross)
+        network.add_flow(main)
+        network.schedule_call(10.0, lambda now: cross.stop(now))
+        network.run(25.0)
+        before = network.recorder.mean_throughput("main", start=5.0, end=10.0)
+        after = network.recorder.mean_throughput("main", start=15.0, end=25.0)
+        assert after > before
+
+    def test_flows_named(self, small_network):
+        network, _ = small_network
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="a"))
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="a"))
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="b"))
+        assert len(network.flows_named("a")) == 2
+        assert len(network.flows_named("b")) == 1
+
+
+class TestSharing:
+    def test_two_identical_flows_split_fairly(self):
+        network, _ = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="a"))
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="b"))
+        network.run(40.0)
+        a = network.recorder.mean_throughput("a", start=15.0)
+        b = network.recorder.mean_throughput("b", start=15.0)
+        assert a + b == pytest.approx(24.0, rel=0.15)
+        assert min(a, b) / max(a, b) > 0.3
+
+    def test_losses_occur_with_small_buffer(self):
+        network, link = quick_network(link_mbps=24, buffer_ms=20, dt=0.004)
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="cubic"))
+        network.run(15.0)
+        assert link.total_drops > 0
+
+    def test_invalid_dt(self):
+        from repro.simulator import BottleneckLink, Network
+        with pytest.raises(ValueError):
+            Network(BottleneckLink(capacity=1e6), dt=0.0)

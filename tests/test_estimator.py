@@ -1,0 +1,110 @@
+"""Cross-traffic rate estimator (Eq. 1) and its sampled time series."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import CrossTrafficEstimator, estimate_cross_traffic
+from repro.simulator.measurement import FlowMeasurement
+from repro.simulator.units import MSS_BYTES, mbps_to_bytes_per_sec
+
+MU = mbps_to_bytes_per_sec(96)
+
+
+class TestEquationOne:
+    def test_no_cross_traffic(self):
+        # R == S means the flow gets everything it sends: z = mu - S... no:
+        # z = mu*S/R - S = mu - S when R == S and the link is saturated.
+        # With S == mu, z must be zero.
+        assert estimate_cross_traffic(MU, MU, MU) == pytest.approx(0.0)
+
+    def test_half_share(self):
+        # The flow receives half of what would be its saturated share:
+        # S = mu/2 delivered at R = mu/2 with the link full means the cross
+        # traffic fills the other half.
+        z = estimate_cross_traffic(MU, MU / 2, MU / 2)
+        assert z == pytest.approx(MU / 2)
+
+    def test_proportional_share(self):
+        # S / (S + z_true) == R / mu  =>  the estimator inverts exactly.
+        z_true = 0.3 * MU
+        s = 0.5 * MU
+        r = MU * s / (s + z_true)
+        assert estimate_cross_traffic(MU, s, r) == pytest.approx(z_true, rel=1e-9)
+
+    def test_clamped_to_physical_range(self):
+        assert estimate_cross_traffic(MU, MU, 0.01 * MU) <= MU
+        assert estimate_cross_traffic(MU, 0.1 * MU, MU) >= 0.0
+
+    def test_degenerate_inputs(self):
+        assert estimate_cross_traffic(MU, 0.0, MU) == 0.0
+        assert estimate_cross_traffic(MU, MU, 0.0) == 0.0
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            estimate_cross_traffic(0.0, 1.0, 1.0)
+
+
+class TestCrossTrafficEstimator:
+    def _measurement_at_half_link(self) -> FlowMeasurement:
+        """Packets sent and delivered at mu/2 with a constant 50 ms RTT.
+
+        With the link saturated, S == R == mu/2 implies (Eq. 1) that the
+        cross traffic occupies the other half of the link.
+        """
+        m = FlowMeasurement()
+        gap = MSS_BYTES / (0.5 * MU)
+        for i in range(200):
+            send_t = i * gap
+            m.on_send(send_t, MSS_BYTES)
+            m.on_ack(send_t + 0.05, MSS_BYTES, 0.05, 0.0)
+        return m
+
+    def test_sampling_interval_respected(self):
+        est = CrossTrafficEstimator(MU, sample_interval=0.01)
+        m = self._measurement_at_half_link()
+        now = 200 * MSS_BYTES / (0.5 * MU)
+        assert est.maybe_sample(now, m) is not None
+        assert est.maybe_sample(now + 0.005, m) is None
+        assert est.maybe_sample(now + 0.011, m) is not None
+
+    def test_estimates_cross_share(self):
+        est = CrossTrafficEstimator(MU, sample_interval=0.01)
+        m = self._measurement_at_half_link()
+        now = 200 * MSS_BYTES / (0.5 * MU)
+        z = est.maybe_sample(now, m)
+        # The flow receives half the link, so the cross traffic is ~half.
+        assert z == pytest.approx(0.5 * MU, rel=0.15)
+
+    def test_series_retention(self):
+        est = CrossTrafficEstimator(MU, sample_interval=0.01, history=1.0)
+        for i in range(500):
+            est.add_sample(i * 0.01, 0.5 * MU, 0.4 * MU)
+        assert len(est) <= est.maxlen
+        assert est.z_series(0.5).shape[0] == 50
+
+    def test_add_sample_and_latest(self):
+        est = CrossTrafficEstimator(MU)
+        est.add_sample(0.0, 0.5 * MU, 0.25 * MU)
+        z, s, r = est.latest()
+        assert s == pytest.approx(0.5 * MU)
+        assert r == pytest.approx(0.25 * MU)
+        # The raw Eq. (1) value (1.5 mu) exceeds the link rate, so the
+        # estimate is clamped to mu.
+        assert z == pytest.approx(MU)
+
+    def test_latest_empty(self):
+        assert CrossTrafficEstimator(MU).latest() == (0.0, 0.0, 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CrossTrafficEstimator(0.0)
+        with pytest.raises(ValueError):
+            CrossTrafficEstimator(MU, sample_interval=0.0)
+
+    def test_series_are_aligned(self):
+        est = CrossTrafficEstimator(MU)
+        for i in range(20):
+            est.add_sample(i * 0.01, 0.5 * MU, 0.5 * MU)
+        assert len(est.z_series()) == len(est.s_series()) == len(est.r_series())
+        assert len(est.times()) == len(est.z_series())
+        assert np.all(np.diff(est.times()) > 0)

@@ -1,0 +1,114 @@
+"""Bottleneck link: FIFO ordering, service rate, drops, and accounting."""
+
+import pytest
+
+from repro.simulator.aqm import DropTail
+from repro.simulator.link import BottleneckLink
+from repro.simulator.packet import Chunk
+
+
+def chunk(flow_id=0, size=1000.0, seq=0.0, sent=0.0):
+    return Chunk(flow_id=flow_id, size=size, seq=seq, sent_time=sent)
+
+
+def make_link(capacity=1e6, buffer_bytes=10e3):
+    return BottleneckLink(capacity=capacity, policy=DropTail(buffer_bytes))
+
+
+class TestEnqueue:
+    def test_admits_within_buffer(self):
+        link = make_link()
+        drops = link.enqueue(chunk(size=5000), now=0.0)
+        assert drops == []
+        assert link.queue_bytes == pytest.approx(5000)
+
+    def test_drop_tail_overflow(self):
+        link = make_link(buffer_bytes=6000)
+        link.enqueue(chunk(size=5000), now=0.0)
+        drops = link.enqueue(chunk(size=5000, flow_id=1), now=0.0)
+        assert len(drops) == 1
+        assert drops[0].flow_id == 1
+        assert drops[0].lost_bytes == pytest.approx(4000)
+        assert link.queue_bytes == pytest.approx(6000)
+
+    def test_full_buffer_drops_everything(self):
+        link = make_link(buffer_bytes=1000)
+        link.enqueue(chunk(size=1000), now=0.0)
+        drops = link.enqueue(chunk(size=500), now=0.0)
+        assert drops[0].lost_bytes == pytest.approx(500)
+
+    def test_total_drops_accumulate(self):
+        link = make_link(buffer_bytes=1000)
+        link.enqueue(chunk(size=900), now=0.0)
+        link.enqueue(chunk(size=900), now=0.0)
+        assert link.total_drops == pytest.approx(800)
+
+
+class TestService:
+    def test_serves_at_capacity(self):
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=5000), now=0.0)
+        served = link.service(now=0.001, dt=0.001)
+        assert sum(c.size for c in served) == pytest.approx(1000)
+        assert link.queue_bytes == pytest.approx(4000)
+
+    def test_fifo_order(self):
+        link = make_link(capacity=1e6, buffer_bytes=1e6)
+        link.enqueue(chunk(flow_id=0, size=600), now=0.0)
+        link.enqueue(chunk(flow_id=1, size=600), now=0.0)
+        served = link.service(now=0.001, dt=0.001)
+        assert [c.flow_id for c in served] == [0, 1]
+
+    def test_partial_service_splits_head(self):
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=1500), now=0.0)
+        served = link.service(now=0.001, dt=0.001)
+        assert sum(c.size for c in served) == pytest.approx(1000)
+        served2 = link.service(now=0.002, dt=0.001)
+        assert sum(c.size for c in served2) == pytest.approx(500)
+
+    def test_queue_delay_recorded(self):
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=500), now=0.0)
+        served = link.service(now=0.05, dt=0.001)
+        assert served[0].queue_delay == pytest.approx(0.05, abs=1e-6)
+
+    def test_idle_link_has_no_credit_banking(self):
+        link = make_link(capacity=1e6)
+        # Idle for a long time: no stored-up service credit.
+        link.service(now=1.0, dt=1.0)
+        link.enqueue(chunk(size=100000), now=1.0)
+        served = link.service(now=1.001, dt=0.001)
+        assert sum(c.size for c in served) <= 1000 + 1e-6
+
+    def test_conservation(self):
+        link = make_link(capacity=1e6, buffer_bytes=5000)
+        total_in = 0.0
+        total_dropped = 0.0
+        for i in range(20):
+            c = chunk(size=800, seq=i * 800)
+            total_in += c.size
+            for d in link.enqueue(c, now=i * 0.001):
+                total_dropped += d.lost_bytes
+            link.service(now=(i + 1) * 0.001, dt=0.001)
+        assert total_in == pytest.approx(
+            link.total_served + link.queue_bytes + total_dropped)
+
+
+class TestQueries:
+    def test_queue_delay_property(self):
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=2000), now=0.0)
+        assert link.queue_delay == pytest.approx(0.002)
+
+    def test_occupancy_of(self):
+        link = make_link(buffer_bytes=1e6)
+        link.enqueue(chunk(flow_id=0, size=1000), now=0.0)
+        link.enqueue(chunk(flow_id=1, size=2000), now=0.0)
+        assert link.occupancy_of(0) == pytest.approx(1000)
+        assert link.occupancy_of(1) == pytest.approx(2000)
+        assert link.occupancy_of(7) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BottleneckLink(capacity=0)

@@ -1,0 +1,118 @@
+"""Windowed counters and per-flow measurement (S, R, RTT, paired rates)."""
+
+import math
+
+import pytest
+
+from repro.simulator.measurement import FlowMeasurement, WindowedCounter
+
+
+class TestWindowedCounter:
+    def test_sum_over_window(self):
+        counter = WindowedCounter()
+        for i in range(10):
+            counter.add(i * 0.1, 100)
+        # Samples strictly newer than 0.9 - 0.35 = 0.55: t = 0.6...0.9.
+        assert counter.sum_over(0.9, window=0.35) == pytest.approx(400)
+
+    def test_rate_over_window(self):
+        counter = WindowedCounter()
+        for i in range(10):
+            counter.add(i * 0.1, 100)
+        assert counter.rate_over(0.9, window=1.0) == pytest.approx(1000, rel=0.2)
+
+    def test_ignores_nonpositive(self):
+        counter = WindowedCounter()
+        counter.add(0.0, 0)
+        counter.add(0.0, -5)
+        assert counter.total == 0.0
+
+    def test_pruning_respects_horizon(self):
+        counter = WindowedCounter(horizon=1.0)
+        counter.add(0.0, 100)
+        counter.add(5.0, 100)
+        assert counter.sum_over(5.0, window=10.0) == pytest.approx(100)
+
+    def test_zero_window_rate(self):
+        counter = WindowedCounter()
+        counter.add(0.0, 100)
+        assert counter.rate_over(0.0, window=0.0) == 0.0
+
+
+class TestFlowMeasurement:
+    def test_rtt_tracking(self):
+        m = FlowMeasurement()
+        m.on_ack(1.0, 1500, rtt=0.08, queue_delay=0.03)
+        m.on_ack(1.1, 1500, rtt=0.06, queue_delay=0.01)
+        assert m.rtt == pytest.approx(0.06)
+        assert m.min_rtt == pytest.approx(0.06)
+        assert m.base_rtt() == pytest.approx(0.06)
+
+    def test_send_and_delivery_rates(self):
+        m = FlowMeasurement()
+        for i in range(20):
+            t = i * 0.01
+            m.on_send(t, 1000)
+            m.on_ack(t + 0.05, 1000, rtt=0.05, queue_delay=0.0)
+        assert m.send_rate(0.2, window=0.1) == pytest.approx(1e5, rel=0.3)
+        assert m.delivery_rate(0.25, window=0.1) == pytest.approx(1e5, rel=0.3)
+
+    def test_loss_rate(self):
+        m = FlowMeasurement()
+        for i in range(10):
+            m.on_send(i * 0.01, 1000)
+        m.on_loss(0.1, 2000)
+        assert m.loss_rate(0.1, window=0.2) == pytest.approx(0.2)
+
+    def test_loss_rate_no_sends(self):
+        assert FlowMeasurement().loss_rate(1.0) == 0.0
+
+    def test_measurement_window_defaults(self):
+        m = FlowMeasurement()
+        assert m.measurement_window() == pytest.approx(0.05)
+        m.on_ack(0.0, 1000, rtt=0.1, queue_delay=0.0)
+        assert m.measurement_window() == pytest.approx(0.1)
+
+    def test_base_rtt_without_samples(self):
+        m = FlowMeasurement()
+        assert m.base_rtt() > 0
+
+
+class TestPairedRates:
+    def test_equal_spacing_gives_equal_rates(self):
+        m = FlowMeasurement()
+        # Packets sent every 10 ms and acked exactly one RTT later: the send
+        # and delivery rates over the same packets must agree.
+        for i in range(30):
+            send_t = i * 0.01
+            m.on_send(send_t, 1500)
+            m.on_ack(send_t + 0.05, 1500, rtt=0.05, queue_delay=0.0)
+        s, r = m.paired_rates(30 * 0.01 + 0.05, window=0.1)
+        assert s == pytest.approx(r, rel=1e-6)
+        assert s == pytest.approx(150_000, rel=0.1)
+
+    def test_compression_raises_delivery_rate(self):
+        m = FlowMeasurement()
+        # Sent over 100 ms but all ACKs arrive within 10 ms: R >> S.
+        for i in range(11):
+            send_t = i * 0.01
+            m.on_ack(1.0 + i * 0.001, 1500, rtt=1.0 + i * 0.001 - send_t,
+                     queue_delay=0.0)
+        s, r = m.paired_rates(1.02, window=0.5)
+        assert r > 5 * s
+
+    def test_few_samples_fall_back(self):
+        m = FlowMeasurement()
+        m.on_send(0.0, 1500)
+        m.on_ack(0.05, 1500, rtt=0.05, queue_delay=0.0)
+        s, r = m.paired_rates(0.05)
+        assert s >= 0 and r >= 0
+
+    def test_max_delivery_rate_updates(self):
+        m = FlowMeasurement()
+        for i in range(30):
+            send_t = i * 0.01
+            m.on_send(send_t, 1500)
+            m.on_ack(send_t + 0.05, 1500, rtt=0.05, queue_delay=0.0)
+        m.paired_rates(0.35, window=0.1)
+        assert m.max_delivery_rate > 0

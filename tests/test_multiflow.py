@@ -1,0 +1,103 @@
+"""Multi-flow coordination primitives: election and watcher filtering (§6)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.multiflow import PulserElection, WatcherRateFilter
+
+
+class TestPulserElection:
+    def test_probability_formula(self):
+        election = PulserElection(kappa=1.0, decision_interval=0.01,
+                                  fft_duration=5.0)
+        # Eq. 5: p = kappa * tau / FFT * (R / mu).
+        assert election.election_probability(50.0, 100.0) == pytest.approx(
+            1.0 * 0.01 / 5.0 * 0.5)
+
+    def test_probability_bounded(self):
+        election = PulserElection(kappa=1e6)
+        assert election.election_probability(1.0, 1.0) <= 1.0
+        assert election.election_probability(0.0, 1.0) == 0.0
+        assert election.election_probability(1.0, 0.0) == 0.0
+
+    def test_expected_pulsers_equals_kappa(self):
+        election = PulserElection(kappa=0.8)
+        assert election.expected_pulsers_per_window(1.0) == pytest.approx(0.8)
+        assert election.expected_pulsers_per_window(0.5) == pytest.approx(0.4)
+
+    def test_decision_interval_rate_limits(self):
+        election = PulserElection(kappa=1.0, decision_interval=0.01,
+                                  rng=random.Random(0))
+        election.should_become_pulser(0.0, 50.0, 100.0)
+        # A second roll within the same decision interval never fires.
+        assert election.should_become_pulser(0.005, 1e12, 100.0) is False
+
+    def test_empirical_election_rate(self):
+        election = PulserElection(kappa=1.0, decision_interval=0.01,
+                                  fft_duration=5.0, rng=random.Random(1))
+        elections = 0
+        trials = 50_000
+        for i in range(trials):
+            if election.should_become_pulser(i * 0.01, 100.0, 100.0):
+                elections += 1
+        # Expected once per FFT window (500 decisions) => ~100 over 50k.
+        assert elections == pytest.approx(trials / 500, rel=0.35)
+
+    def test_demotion_probability(self):
+        election = PulserElection(demotion_probability=1.0,
+                                  rng=random.Random(0))
+        assert election.should_demote() is True
+        election = PulserElection(demotion_probability=0.0,
+                                  rng=random.Random(0))
+        assert election.should_demote() is False
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ValueError):
+            PulserElection(kappa=0.0)
+
+
+class TestWatcherRateFilter:
+    def test_passes_dc(self):
+        filt = WatcherRateFilter(cutoff_frequency=5.0, update_interval=0.01)
+        out = 0.0
+        for _ in range(1000):
+            out = filt.filter(100.0)
+        assert out == pytest.approx(100.0, rel=1e-3)
+
+    def test_attenuates_pulse_frequency(self):
+        filt = WatcherRateFilter(cutoff_frequency=5.0, update_interval=0.01)
+        outputs = []
+        for i in range(2000):
+            t = i * 0.01
+            outputs.append(filt.filter(100.0 + 50.0 * math.sin(2 * math.pi
+                                                               * 5.0 * t)))
+        tail = outputs[1000:]
+        swing = (max(tail) - min(tail)) / 2.0
+        # A first-order filter at its cutoff attenuates to ~0.7; at 5 Hz with
+        # a 5 Hz cutoff it should clearly reduce the 50-unit swing.
+        assert swing < 0.75 * 50.0
+
+    def test_passes_slow_variation(self):
+        filt = WatcherRateFilter(cutoff_frequency=5.0, update_interval=0.01)
+        outputs = []
+        for i in range(4000):
+            t = i * 0.01
+            outputs.append(filt.filter(100.0 + 50.0 * math.sin(2 * math.pi
+                                                               * 0.05 * t)))
+        tail = outputs[2000:]
+        swing = (max(tail) - min(tail)) / 2.0
+        assert swing > 0.9 * 50.0
+
+    def test_reset(self):
+        filt = WatcherRateFilter(cutoff_frequency=5.0)
+        filt.filter(100.0)
+        filt.reset()
+        assert filt.filter(0.0) == pytest.approx(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WatcherRateFilter(cutoff_frequency=0.0)
+        with pytest.raises(ValueError):
+            WatcherRateFilter(cutoff_frequency=5.0, update_interval=0.0)

@@ -1,0 +1,170 @@
+"""The Nimbus controller: detection, mode switching, pulsing, multi-flow roles."""
+
+import numpy as np
+import pytest
+
+from repro import quick_network
+from repro.cc import Cubic, NullCC, Vegas
+from repro.core.nimbus import MODE_COMPETITIVE, MODE_DELAY, Nimbus
+from repro.core.pulses import SymmetricSinusoidPulse
+from repro.simulator import Flow, mbps_to_bytes_per_sec
+from repro.traffic import PoissonSource
+
+MU_24 = mbps_to_bytes_per_sec(24)
+
+
+def run_nimbus(cross: str, duration: float = 35.0, link_mbps: float = 24,
+               **nimbus_kwargs):
+    """Run one Nimbus flow against the given cross traffic kind."""
+    network, link = quick_network(link_mbps=link_mbps, buffer_ms=100, dt=0.004)
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    nimbus = Nimbus(mu=mu, **nimbus_kwargs)
+    flow = Flow(cc=nimbus, prop_rtt=0.05, name="nimbus")
+    network.add_flow(flow)
+    if cross == "elastic":
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="cross"))
+    elif cross == "inelastic":
+        network.add_flow(Flow(cc=NullCC(), prop_rtt=0.05,
+                              source=PoissonSource(0.5 * mu, seed=2),
+                              name="cross"))
+    network.run(duration)
+    return network, nimbus
+
+
+class TestConstruction:
+    def test_defaults(self):
+        nimbus = Nimbus(mu=MU_24)
+        assert nimbus.mode == MODE_DELAY
+        assert isinstance(nimbus.competitive_cc, Cubic)
+        assert nimbus.threshold == pytest.approx(2.0)
+
+    def test_custom_inner_algorithms(self):
+        nimbus = Nimbus(mu=MU_24, delay=Vegas())
+        assert isinstance(nimbus.delay_cc, Vegas)
+
+    def test_custom_pulse_shape(self):
+        nimbus = Nimbus(mu=MU_24, pulse_shape_factory=SymmetricSinusoidPulse)
+        assert isinstance(nimbus.current_pulse, SymmetricSinusoidPulse)
+
+    def test_mu_property(self):
+        assert Nimbus(mu=MU_24).mu == pytest.approx(MU_24)
+        assert Nimbus(mu=None).mu >= 1.0
+
+
+@pytest.mark.slow
+class TestDetectionIntegration:
+    def test_elastic_cross_traffic_detected(self):
+        network, nimbus = run_nimbus("elastic")
+        etas = [eta for t, eta in nimbus.eta_history
+                if t > 15.0 and np.isfinite(eta)]
+        # The elasticity metric sits around/above the threshold against a
+        # backlogged Cubic flow (well above the ~0.3-0.5 seen for inelastic
+        # traffic), and the flow ends up in competitive mode for the
+        # majority of the post-detection period.
+        assert float(np.median(etas)) > 1.0
+        times, modes = network.recorder.mode_series("nimbus")
+        active = [m for t, m in zip(times, modes) if t > 15.0 and m]
+        assert active.count(MODE_COMPETITIVE) > 0.5 * len(active)
+
+    def test_inelastic_cross_traffic_detected(self):
+        _, nimbus = run_nimbus("inelastic")
+        assert nimbus.last_eta < nimbus.threshold
+        assert nimbus.mode == MODE_DELAY
+
+    def test_low_delay_against_inelastic(self):
+        network, _ = run_nimbus("inelastic")
+        _, qd = network.recorder.link_queue_delay_series()
+        assert float(np.mean(qd[len(qd) // 2:])) < 40.0
+
+    def test_fair_share_against_elastic(self):
+        network, _ = run_nimbus("elastic", duration=40.0)
+        nimbus_tput = network.recorder.mean_throughput("nimbus", start=15.0)
+        cross_tput = network.recorder.mean_throughput("cross", start=15.0)
+        # Competitive to within a factor of ~2.5 (a pure delay controller is
+        # starved to well under a third of the Cubic competitor's rate).
+        assert nimbus_tput > 0.4 * cross_tput
+
+    def test_grabs_spare_capacity_when_inelastic(self):
+        network, _ = run_nimbus("inelastic")
+        tput = network.recorder.mean_throughput("nimbus", start=15.0)
+        assert tput == pytest.approx(12.0, rel=0.3)
+
+    def test_eta_history_recorded(self):
+        _, nimbus = run_nimbus("inelastic", duration=20.0)
+        assert len(nimbus.eta_history) > 10
+        times = [t for t, _ in nimbus.eta_history]
+        assert times == sorted(times)
+
+    def test_mu_estimation_without_configuration(self):
+        network, link = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+        nimbus = Nimbus(mu=None)
+        network.add_flow(Flow(cc=nimbus, prop_rtt=0.05, name="nimbus"))
+        network.run(20.0)
+        assert nimbus.mu == pytest.approx(MU_24, rel=0.25)
+
+
+class TestRateAndPulsing:
+    def test_rate_is_pulsed_in_single_flow_mode(self):
+        network, nimbus = run_nimbus(cross=None, duration=10.0)
+        # The pacing rate must reflect the pulse: sample the pulse shape.
+        offsets = [nimbus.current_pulse.offset_fraction(t / 100.0)
+                   for t in range(100)]
+        assert max(offsets) > 0.2
+        assert min(offsets) < 0.0
+
+    def test_rate_floor_positive(self):
+        network, nimbus = run_nimbus(cross=None, duration=5.0)
+        assert nimbus.rate is not None and nimbus.rate > 0
+
+    def test_switch_to_competitive_restores_rate(self):
+        nimbus = Nimbus(mu=MU_24)
+        flow = Flow(cc=nimbus, prop_rtt=0.05)
+        flow.flow_id = 0
+        flow.start(0.0)
+        nimbus.measurement.on_ack(0.0, 1500, 0.05, 0.0)
+        nimbus._record_rate(0.0, 0.5 * MU_24)
+        nimbus._record_rate(5.0, 0.1 * MU_24)
+        nimbus._switch_mode(MODE_COMPETITIVE, 5.0)
+        # The competitive window is seeded from the max of the rate 5 s ago
+        # and now, i.e. at least 0.5*mu*rtt.
+        assert nimbus.competitive_cc.cwnd >= 0.5 * MU_24 * 0.05 * 0.99
+
+    def test_switch_to_delay_sets_rate(self):
+        nimbus = Nimbus(mu=MU_24)
+        flow = Flow(cc=nimbus, prop_rtt=0.05)
+        flow.flow_id = 0
+        flow.start(0.0)
+        nimbus.measurement.on_ack(0.0, 1500, 0.05, 0.0)
+        nimbus.mode = MODE_COMPETITIVE
+        nimbus.competitive_cc.cwnd = 0.5 * MU_24 * 0.05
+        nimbus._switch_mode(MODE_DELAY, 1.0)
+        assert nimbus.delay_cc.rate == pytest.approx(0.5 * MU_24, rel=0.2)
+
+
+@pytest.mark.slow
+class TestMultiFlow:
+    def test_roles_and_fair_share(self):
+        network, _ = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+        flows = []
+        for i in range(2):
+            nimbus = Nimbus(mu=MU_24, multi_flow=True, seed=i)
+            flow = Flow(cc=nimbus, prop_rtt=0.05, name=f"n{i}")
+            network.add_flow(flow)
+            flows.append(flow)
+        network.run(40.0)
+        rates = [network.recorder.mean_throughput(f"n{i}", start=20.0)
+                 for i in range(2)]
+        assert sum(rates) == pytest.approx(24.0, rel=0.2)
+        roles = {f.cc.role for f in flows}
+        # At most one pulser at the end of the run.
+        assert sum(1 for f in flows if f.cc.role == "pulser") <= 1
+        assert roles  # non-empty sanity
+
+    def test_watchers_stay_in_delay_mode_without_cross_traffic(self):
+        network, _ = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+        for i in range(2):
+            nimbus = Nimbus(mu=MU_24, multi_flow=True, seed=10 + i)
+            network.add_flow(Flow(cc=nimbus, prop_rtt=0.05, name=f"n{i}"))
+        network.run(40.0)
+        _, qd = network.recorder.link_queue_delay_series()
+        assert float(np.mean(qd[len(qd) // 2:])) < 50.0

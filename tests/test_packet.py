@@ -1,0 +1,72 @@
+"""Chunk, Ack, and FlowStats behaviour."""
+
+import pytest
+
+from repro.simulator.packet import Ack, Chunk, FlowStats
+
+
+def make_chunk(size=3000.0, seq=100.0):
+    return Chunk(flow_id=1, size=size, seq=seq, sent_time=2.0)
+
+
+class TestChunkSplit:
+    def test_split_sizes(self):
+        chunk = make_chunk(size=3000, seq=100)
+        head = chunk.split(1000)
+        assert head.size == pytest.approx(1000)
+        assert chunk.size == pytest.approx(2000)
+
+    def test_split_sequence_numbers(self):
+        chunk = make_chunk(size=3000, seq=100)
+        head = chunk.split(1000)
+        assert head.seq == pytest.approx(100)
+        assert chunk.seq == pytest.approx(1100)
+
+    def test_split_preserves_metadata(self):
+        chunk = make_chunk()
+        chunk.enqueue_time = 5.0
+        chunk.queue_delay = 0.01
+        head = chunk.split(500)
+        assert head.flow_id == chunk.flow_id
+        assert head.sent_time == chunk.sent_time
+        assert head.enqueue_time == chunk.enqueue_time
+        assert head.queue_delay == chunk.queue_delay
+
+    def test_split_whole_chunk_rejected(self):
+        chunk = make_chunk(size=3000)
+        with pytest.raises(ValueError):
+            chunk.split(3000)
+
+    def test_split_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_chunk().split(0)
+
+    def test_split_conserves_bytes(self):
+        chunk = make_chunk(size=4321)
+        head = chunk.split(1234)
+        assert head.size + chunk.size == pytest.approx(4321)
+
+
+class TestFlowStats:
+    def test_mean_rtt_empty(self):
+        assert FlowStats().mean_rtt == 0.0
+
+    def test_mean_rtt(self):
+        stats = FlowStats()
+        stats.rtt_sum = 0.3
+        stats.rtt_samples = 3
+        assert stats.mean_rtt == pytest.approx(0.1)
+
+    def test_defaults(self):
+        stats = FlowStats()
+        assert stats.bytes_sent == 0.0
+        assert stats.bytes_delivered == 0.0
+        assert stats.bytes_lost == 0.0
+        assert stats.end_time is None
+
+
+def test_ack_fields():
+    ack = Ack(flow_id=3, acked_bytes=1500, sent_time=1.0, queue_delay=0.02,
+              delivered_time=1.07)
+    assert ack.flow_id == 3
+    assert ack.delivered_time - ack.sent_time == pytest.approx(0.07)

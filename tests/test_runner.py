@@ -1,0 +1,31 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+def test_list_exits_cleanly(capsys):
+    assert runner.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig09" in out and "table1" in out
+
+
+def test_unknown_experiment():
+    assert runner.main(["figXX"]) == 2
+
+
+def test_parse_overrides():
+    assert runner._parse_overrides(["load=0.9", "seed=3"]) == {
+        "load": 0.9, "seed": 3.0}
+    with pytest.raises(ValueError):
+        runner._parse_overrides(["oops"])
+
+
+@pytest.mark.slow
+def test_runs_a_small_experiment(capsys):
+    code = runner.main(["fig23", "--dt", "0.004", "--duration", "15",
+                        "--set", "seed=1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig23" in out

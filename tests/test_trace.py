@@ -1,0 +1,81 @@
+"""Recorder: throughput/delay/mode series extraction."""
+
+import numpy as np
+import pytest
+
+from repro import quick_network
+from repro.cc import Cubic
+from repro.core.nimbus import Nimbus
+from repro.simulator import Flow, mbps_to_bytes_per_sec
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    network, link = quick_network(link_mbps=24, buffer_ms=100, dt=0.004)
+    mu = mbps_to_bytes_per_sec(24)
+    network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="cubic"))
+    network.add_flow(Flow(cc=Nimbus(mu=mu), prop_rtt=0.05, name="nimbus"))
+    network.run(20.0)
+    return network
+
+
+def test_times_monotone(recorded_run):
+    times = recorded_run.recorder.times()
+    assert np.all(np.diff(times) > 0)
+
+
+def test_throughput_series_sums_to_link(recorded_run):
+    rec = recorded_run.recorder
+    _, cubic = rec.throughput_series("cubic")
+    _, nimbus = rec.throughput_series("nimbus")
+    total = (cubic + nimbus)[50:]
+    assert float(np.mean(total)) == pytest.approx(24.0, rel=0.15)
+
+
+def test_throughput_all_flows_default(recorded_run):
+    rec = recorded_run.recorder
+    _, total = rec.throughput_series()
+    assert float(np.mean(total[50:])) == pytest.approx(24.0, rel=0.15)
+
+
+def test_queue_delay_series_nonnegative(recorded_run):
+    _, delays = recorded_run.recorder.queue_delay_series("cubic")
+    assert np.all(delays >= 0)
+
+
+def test_link_queue_delay_series(recorded_run):
+    times, delays = recorded_run.recorder.link_queue_delay_series()
+    assert len(times) == len(delays)
+    assert np.all(delays >= 0)
+    assert delays.max() <= 110.0  # bounded by the 100 ms buffer (plus slack)
+
+
+def test_mode_series_only_for_mode_switching(recorded_run):
+    rec = recorded_run.recorder
+    _, cubic_modes = rec.mode_series("cubic")
+    _, nimbus_modes = rec.mode_series("nimbus")
+    assert all(m is None for m in cubic_modes)
+    assert any(m in ("delay", "competitive") for m in nimbus_modes)
+
+
+def test_queue_delay_samples(recorded_run):
+    samples = recorded_run.recorder.queue_delay_samples("cubic")
+    assert samples.size > 0
+    assert np.all(samples >= 0)
+
+
+def test_rtt_samples_above_propagation(recorded_run):
+    samples = recorded_run.recorder.rtt_samples("cubic")
+    assert samples.size > 0
+    assert samples.min() >= 0.05 - 1e-9
+
+
+def test_mean_throughput_window(recorded_run):
+    rec = recorded_run.recorder
+    full = rec.mean_throughput("cubic")
+    tail = rec.mean_throughput("cubic", start=10.0)
+    assert full >= 0 and tail >= 0
+
+
+def test_mean_throughput_unknown_flow(recorded_run):
+    assert recorded_run.recorder.mean_throughput("missing") == 0.0
