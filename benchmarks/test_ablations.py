@@ -4,7 +4,7 @@ cross-correlation detector."""
 
 import numpy as np
 
-from conftest import BENCH_DT, run_once
+from conftest import BENCH_DT
 
 from repro.core.elasticity import cross_correlation_detector, elasticity_metric
 from repro.core.pulses import AsymmetricSinusoidPulse, SymmetricSinusoidPulse

@@ -12,7 +12,6 @@ Run with:  python examples/elasticity_probe.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import table1_classification
 

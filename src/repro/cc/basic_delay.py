@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..simulator.units import MSS_BYTES
 from .base import CongestionControl
 
 

@@ -11,7 +11,7 @@ reproduces that timescale behaviour.
 
 from __future__ import annotations
 
-from ..simulator.units import MSS_BYTES, bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+from ..simulator.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
 from .base import CongestionControl
 
 

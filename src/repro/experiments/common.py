@@ -10,87 +10,29 @@ individual ``figXX_*`` modules stay small and declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..analysis.metrics import ThroughputDelaySummary, summarize_flow
-from ..cc import (
-    BasicDelay,
-    Bbr,
-    Compound,
-    Copa,
-    Cubic,
-    NewReno,
-    Vegas,
-    Vivace,
-)
-from ..cc.base import CongestionControl
-from ..core.nimbus import Nimbus
-from ..simulator import (
-    BottleneckLink,
-    DropTail,
-    Flow,
-    Network,
-    Pie,
-    mbps_to_bytes_per_sec,
-)
+from ..runtime.build import make_network, make_scheme
+from ..simulator import Flow, Network, mbps_to_bytes_per_sec
 
 #: Name of the main (measured) flow in every experiment.
 MAIN_FLOW = "main"
 #: Name given to cross-traffic flows.
 CROSS_FLOW = "cross"
 
-
-def make_network(link_mbps: float, buffer_ms: float = 100.0,
-                 dt: float = 0.002, seed: int = 0,
-                 aqm_target_ms: Optional[float] = None) -> Network:
-    """Standard single-bottleneck network used across experiments.
-
-    ``aqm_target_ms`` switches the queue policy from drop-tail to PIE with
-    the given target delay (Appendix E.2).
-    """
-    mu = mbps_to_bytes_per_sec(link_mbps)
-    buffer_bytes = mu * buffer_ms / 1e3
-    if aqm_target_ms is not None:
-        policy = Pie(target_delay=aqm_target_ms / 1e3,
-                     buffer_bytes=buffer_bytes, seed=seed)
-    else:
-        policy = DropTail(buffer_bytes)
-    link = BottleneckLink(capacity=mu, policy=policy)
-    return Network(link, dt=dt, seed=seed)
-
-
-def make_scheme(name: str, mu: float, **overrides) -> CongestionControl:
-    """Instantiate a congestion-control scheme by name.
-
-    Supported names: ``nimbus`` (Cubic + BasicDelay), ``nimbus-copa``
-    (Cubic + Copa default mode), ``nimbus-vegas``, ``nimbus-delay`` (the
-    delay algorithm alone, no mode switching), ``cubic``, ``newreno``,
-    ``vegas``, ``copa``, ``copa-default``, ``bbr``, ``pcc-vivace``,
-    ``compound``, ``basicdelay``.
-    """
-    factories: Dict[str, Callable[[], CongestionControl]] = {
-        "nimbus": lambda: Nimbus(mu=mu, **overrides),
-        "nimbus-copa": lambda: Nimbus(
-            mu=mu, delay=Copa(mode_switching=False), **overrides),
-        "nimbus-vegas": lambda: Nimbus(mu=mu, delay=Vegas(), **overrides),
-        "nimbus-delay": lambda: BasicDelay(mu, **overrides),
-        "basicdelay": lambda: BasicDelay(mu, **overrides),
-        "cubic": lambda: Cubic(**overrides),
-        "newreno": lambda: NewReno(**overrides),
-        "reno": lambda: NewReno(**overrides),
-        "vegas": lambda: Vegas(**overrides),
-        "copa": lambda: Copa(**overrides),
-        "copa-default": lambda: Copa(mode_switching=False, **overrides),
-        "bbr": lambda: Bbr(**overrides),
-        "pcc-vivace": lambda: Vivace(**overrides),
-        "compound": lambda: Compound(**overrides),
-    }
-    try:
-        return factories[name]()
-    except KeyError:
-        raise ValueError(f"unknown scheme {name!r}; known: {sorted(factories)}")
+__all__ = [
+    "CROSS_FLOW",
+    "ExperimentResult",
+    "MAIN_FLOW",
+    "SchemeResult",
+    "add_main_flow",
+    "make_network",
+    "make_scheme",
+    "queue_delay_stats",
+]
 
 
 def add_main_flow(network: Network, scheme: str, link_mbps: float,

@@ -9,7 +9,7 @@ and drops the queueing delay once it is inelastic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -13,12 +13,14 @@ from typing import Iterable
 
 import numpy as np
 
-from ..analysis.metrics import rate_cdf_over_intervals
+from ..analysis.metrics import rate_cdf_over_intervals, summarize_flow
+from ..runtime import ScenarioSpec, run_batch
 from ..traffic import WanTrafficGenerator, WanWorkloadConfig
 from ..simulator import mbps_to_bytes_per_sec
 from .common import (
     MAIN_FLOW,
     ExperimentResult,
+    SchemeResult,
     add_main_flow,
     make_network,
     queue_delay_stats,
@@ -43,34 +45,62 @@ def run_single(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
     return network, flow, generator
 
 
+def run_case(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
+             buffer_ms: float = 100.0, load: float = 0.5,
+             duration: float = 60.0, dt: float = 0.002, seed: int = 1,
+             **scheme_overrides) -> dict:
+    """One scheme under the WAN workload, reduced to a picklable payload.
+
+    This is the batch unit behind :func:`run` (and Fig. 13's load sweep):
+    the runtime executes it in worker processes and memoises the returned
+    payload, so only picklable summaries leave this function — never the
+    network object itself.
+    """
+    network, _, generator = run_single(
+        scheme, link_mbps=link_mbps, prop_rtt=prop_rtt, buffer_ms=buffer_ms,
+        load=load, duration=duration, dt=dt, seed=seed, **scheme_overrides)
+    recorder = network.recorder
+    warmup = duration / 6.0
+    rate_values, rate_probs = rate_cdf_over_intervals(
+        recorder, MAIN_FLOW, interval=1.0, start=warmup)
+    rtt_samples = recorder.rtt_samples(MAIN_FLOW) * 1e3
+    summary = summarize_flow(recorder, MAIN_FLOW, scheme=scheme, start=warmup)
+    return {
+        "scheme": scheme,
+        "summary": summary,
+        "extra": {
+            "median_rtt_ms": (float(np.median(rtt_samples))
+                              if rtt_samples.size else 0.0),
+            "queue": queue_delay_stats(recorder, start=warmup),
+            "cross_flows": len(generator.records),
+        },
+        "data": {
+            "rate_cdf": (rate_values, rate_probs),
+            "rtt_samples_ms": rtt_samples,
+            "fct_records": generator.completed_records(),
+        },
+    }
+
+
 def run(schemes: Iterable[str] = ("nimbus", "cubic", "vegas"),
         link_mbps: float = 96.0, prop_rtt: float = 0.05,
         buffer_ms: float = 100.0, load: float = 0.5, duration: float = 60.0,
         dt: float = 0.002, seed: int = 1) -> ExperimentResult:
     """Run the WAN workload for each scheme and collect rate/RTT CDFs."""
+    schemes = list(schemes)
     result = ExperimentResult(
         name="fig09_wan",
-        parameters=dict(schemes=list(schemes), link_mbps=link_mbps,
+        parameters=dict(schemes=schemes, link_mbps=link_mbps,
                         load=load, duration=duration))
-    warmup = duration / 6.0
-    for scheme in schemes:
-        network, flow, generator = run_single(
-            scheme, link_mbps=link_mbps, prop_rtt=prop_rtt,
-            buffer_ms=buffer_ms, load=load, duration=duration, dt=dt,
-            seed=seed)
-        recorder = network.recorder
-        rate_values, rate_probs = rate_cdf_over_intervals(
-            recorder, MAIN_FLOW, interval=1.0, start=warmup)
-        rtt_samples = recorder.rtt_samples(MAIN_FLOW) * 1e3
-        result.add_scheme(
-            scheme, recorder, start=warmup,
-            median_rtt_ms=float(np.median(rtt_samples)) if rtt_samples.size else 0.0,
-            queue=queue_delay_stats(recorder, start=warmup),
-            cross_flows=len(generator.records),
-        )
-        result.data[scheme] = {
-            "rate_cdf": (rate_values, rate_probs),
-            "rtt_samples_ms": rtt_samples,
-            "fct_records": generator.completed_records(),
-        }
+    specs = [ScenarioSpec.make(run_case, label=scheme, scheme=scheme,
+                               link_mbps=link_mbps, prop_rtt=prop_rtt,
+                               buffer_ms=buffer_ms, load=load,
+                               duration=duration, dt=dt, seed=seed)
+             for scheme in schemes]
+    for payload in run_batch(specs):
+        scheme = payload["scheme"]
+        result.schemes[scheme] = SchemeResult(
+            scheme=scheme, summary=payload["summary"],
+            extra=payload["extra"])
+        result.data[scheme] = payload["data"]
     return result

@@ -9,10 +9,12 @@ larger pulse gives more reliable switching.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable
 
-from .common import ExperimentResult, queue_delay_stats
-from .fig09_wan import run_single
+from ..runtime import ScenarioSpec, run_batch
+from .common import ExperimentResult, SchemeResult
+from .fig09_wan import run_case
 
 
 def run(loads: Iterable[float] = (0.5, 0.9),
@@ -21,30 +23,37 @@ def run(loads: Iterable[float] = (0.5, 0.9),
         link_mbps: float = 96.0, prop_rtt: float = 0.05,
         buffer_ms: float = 100.0, duration: float = 60.0,
         dt: float = 0.002, seed: int = 1) -> ExperimentResult:
-    """Sweep load x pulse size for Nimbus, plus the fixed baselines."""
+    """Sweep load x pulse size for Nimbus, plus the fixed baselines.
+
+    Each (load, scheme) point is an independent scenario, so the whole
+    sweep is one batch: points run in parallel when workers are available
+    and cached points (e.g. the Fig. 9 baselines at 50 % load) are reused
+    across figures instead of being re-simulated.
+    """
     result = ExperimentResult(
         name="fig13_load",
         parameters=dict(loads=list(loads), pulse_sizes=list(pulse_sizes),
                         link_mbps=link_mbps, duration=duration))
-    warmup = duration / 6.0
+    shared = dict(link_mbps=link_mbps, prop_rtt=prop_rtt,
+                  buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
+    cases = []
     for load in loads:
         for scheme in baselines:
-            network, _, _ = run_single(scheme, link_mbps=link_mbps,
-                                       prop_rtt=prop_rtt,
-                                       buffer_ms=buffer_ms, load=load,
-                                       duration=duration, dt=dt, seed=seed)
-            result.add_scheme(
-                f"{scheme}@load{int(load * 100)}", network.recorder,
-                start=warmup, load=load,
-                queue=queue_delay_stats(network.recorder, start=warmup))
+            cases.append((f"{scheme}@load{int(load * 100)}",
+                          dict(load=load),
+                          ScenarioSpec.make(run_case, scheme=scheme,
+                                            load=load, **shared)))
         for pulse in pulse_sizes:
-            network, _, _ = run_single("nimbus", link_mbps=link_mbps,
-                                       prop_rtt=prop_rtt,
-                                       buffer_ms=buffer_ms, load=load,
-                                       duration=duration, dt=dt, seed=seed,
-                                       pulse_fraction=pulse)
-            result.add_scheme(
-                f"nimbus{pulse}@load{int(load * 100)}", network.recorder,
-                start=warmup, load=load, pulse_fraction=pulse,
-                queue=queue_delay_stats(network.recorder, start=warmup))
+            cases.append((f"nimbus{pulse}@load{int(load * 100)}",
+                          dict(load=load, pulse_fraction=pulse),
+                          ScenarioSpec.make(run_case, scheme="nimbus",
+                                            load=load, pulse_fraction=pulse,
+                                            **shared)))
+    payloads = run_batch([spec for _, _, spec in cases])
+    for (label, point, _), payload in zip(cases, payloads):
+        extra = dict(payload["extra"])
+        extra.update(point)
+        result.schemes[label] = SchemeResult(
+            scheme=label, summary=replace(payload["summary"], scheme=label),
+            extra=extra)
     return result

@@ -10,13 +10,46 @@ Nimbus's RTT.  The paper reports > 98 % accuracy for the pure cases and
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
-from .accuracy_scenarios import CrossSpec, run_accuracy_scenario
+from ..runtime import ScenarioSpec, run_batch
+from .accuracy_scenarios import (
+    AccuracyScenarioResult,
+    CrossSpec,
+    run_accuracy_scenario,
+)
 from .common import ExperimentResult
 
 DEFAULT_RATIOS = (0.2, 0.5, 1.0, 2.0, 4.0)
 DEFAULT_CATEGORIES = ("elastic", "mix", "poisson")
+
+
+def run_case(category: str, ratio: float = 1.0,
+             mixed_rtts: Optional[Sequence[float]] = None,
+             link_mbps: float = 96.0, prop_rtt: float = 0.05,
+             buffer_ms: float = 100.0, duration: float = 50.0,
+             dt: float = 0.002, seed: int = 0) -> AccuracyScenarioResult:
+    """One (category, RTT-ratio) accuracy point; the batch unit of the sweep.
+
+    ``category`` ``"mixed-rtt"`` ignores ``ratio`` and runs the
+    heterogeneous-RTT companion scenario over ``mixed_rtts`` instead.
+    """
+    if category == "elastic":
+        spec = CrossSpec(kind="elastic", elastic_flows=2, rtt_ratio=ratio)
+    elif category == "mix":
+        spec = CrossSpec(kind="mix", elastic_flows=1, rate_fraction=0.25,
+                         rtt_ratio=ratio)
+    elif category == "poisson":
+        spec = CrossSpec(kind="poisson", rate_fraction=0.5, elastic_flows=0,
+                         rtt_ratio=ratio)
+    elif category == "mixed-rtt":
+        spec = CrossSpec(kind="elastic", elastic_flows=len(mixed_rtts or ()),
+                         elastic_rtts=list(mixed_rtts or ()))
+    else:
+        raise ValueError(f"unknown cross-traffic category {category!r}")
+    return run_accuracy_scenario(
+        "nimbus", spec, link_mbps=link_mbps, prop_rtt=prop_rtt,
+        buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
 
 
 def run(rtt_ratios: Iterable[float] = (0.5, 1.0, 2.0),
@@ -27,41 +60,36 @@ def run(rtt_ratios: Iterable[float] = (0.5, 1.0, 2.0),
         dt: float = 0.002, seed: int = 0) -> ExperimentResult:
     """Sweep cross-traffic RTT ratio for each traffic category.
 
-    ``mixed_rtts`` optionally adds the multiple-elastic-flows-with-different-
-    RTTs scenario: a list of RTTs (seconds), one backlogged flow each.
+    The (category, ratio) grid is executed as one scenario batch;
+    ``mixed_rtts`` optionally appends the multiple-elastic-flows-with-
+    different-RTTs scenario: a list of RTTs (seconds), one backlogged
+    flow each.
     """
+    rtt_ratios = list(rtt_ratios)
+    categories = list(categories)
     result = ExperimentResult(
         name="fig15_rtt_sweep",
-        parameters=dict(rtt_ratios=list(rtt_ratios),
-                        categories=list(categories), link_mbps=link_mbps,
-                        duration=duration))
+        parameters=dict(rtt_ratios=rtt_ratios, categories=categories,
+                        link_mbps=link_mbps, duration=duration))
+    shared = dict(link_mbps=link_mbps, prop_rtt=prop_rtt,
+                  buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
+    grid = [(category, ratio)
+            for category in categories for ratio in rtt_ratios]
+    specs = [ScenarioSpec.make(run_case, label=f"{category}@x{ratio}",
+                               category=category, ratio=ratio, **shared)
+             for category, ratio in grid]
+    if mixed_rtts:
+        specs.append(ScenarioSpec.make(
+            run_case, label="mixed-rtt", category="mixed-rtt",
+            mixed_rtts=tuple(mixed_rtts), **shared))
+    payloads = run_batch(specs)
+
     accuracy: Dict[str, Dict[float, float]] = {c: {} for c in categories}
     scenarios: Dict[str, Dict[float, object]] = {c: {} for c in categories}
-
-    for category in categories:
-        for ratio in rtt_ratios:
-            if category == "elastic":
-                spec = CrossSpec(kind="elastic", elastic_flows=2,
-                                 rtt_ratio=ratio)
-            elif category == "mix":
-                spec = CrossSpec(kind="mix", elastic_flows=1,
-                                 rate_fraction=0.25, rtt_ratio=ratio)
-            else:
-                spec = CrossSpec(kind="poisson", rate_fraction=0.5,
-                                 elastic_flows=0, rtt_ratio=ratio)
-            scenario = run_accuracy_scenario(
-                "nimbus", spec, link_mbps=link_mbps, prop_rtt=prop_rtt,
-                buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
-            accuracy[category][ratio] = scenario.report.accuracy
-            scenarios[category][ratio] = scenario
-
+    for (category, ratio), scenario in zip(grid, payloads):
+        accuracy[category][ratio] = scenario.report.accuracy
+        scenarios[category][ratio] = scenario
     result.data = {"accuracy": accuracy, "scenarios": scenarios}
-
     if mixed_rtts:
-        spec = CrossSpec(kind="elastic", elastic_flows=len(mixed_rtts),
-                         elastic_rtts=list(mixed_rtts))
-        scenario = run_accuracy_scenario(
-            "nimbus", spec, link_mbps=link_mbps, prop_rtt=prop_rtt,
-            buffer_ms=buffer_ms, duration=duration, dt=dt, seed=seed)
-        result.data["mixed_rtt_accuracy"] = scenario.report.accuracy
+        result.data["mixed_rtt_accuracy"] = payloads[-1].report.accuracy
     return result

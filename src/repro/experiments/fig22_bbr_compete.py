@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from ..cc import Bbr
-from ..simulator import Flow, mbps_to_bytes_per_sec
+from ..simulator import Flow
 from .common import MAIN_FLOW, ExperimentResult, add_main_flow, make_network
 
 DEFAULT_BUFFERS_BDP = (0.5, 1.0, 2.0, 4.0)

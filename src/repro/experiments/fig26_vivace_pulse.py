@@ -15,7 +15,7 @@ import numpy as np
 
 from ..cc import Vivace
 from ..simulator import Flow
-from .common import MAIN_FLOW, ExperimentResult, add_main_flow, make_network
+from .common import ExperimentResult, add_main_flow, make_network
 
 
 def run(pulse_frequencies: Iterable[float] = (5.0, 2.0),

@@ -8,15 +8,27 @@ code::
     python -m repro.experiments.runner --list
 
 Arbitrary numeric keyword overrides can be passed as ``--set name=value``;
-they are forwarded to the driver's ``run`` function.
+they are forwarded to the driver's ``run`` function.  ``sweep`` mode
+expands comma-separated ``--set`` values into the cross product and runs
+the whole grid as one scenario batch (parallel workers + result cache)::
+
+    python -m repro.experiments.runner sweep fig09 --set seed=1,2,3 \\
+        --set load=0.5,0.9 --duration 30
+
+Execution goes through :mod:`repro.runtime`, so repeated invocations with
+identical parameters are served from the on-disk cache (see
+``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` / ``REPRO_BENCH_WORKERS``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
+from ..runtime import ScenarioSpec, run_batch
+from ..runtime.spec import expand_grid
 from . import EXPERIMENT_INDEX
 from .common import ExperimentResult
 
@@ -28,8 +40,41 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, float]:
         if "=" not in pair:
             raise ValueError(f"--set expects name=value, got {pair!r}")
         name, value = pair.split("=", 1)
-        overrides[name.strip()] = float(value)
+        try:
+            overrides[name.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--set expects a numeric value, got {pair!r}")
     return overrides
+
+
+def _parse_sweep_overrides(
+        pairs: List[str]) -> Tuple[Dict[str, float], Dict[str, List[float]]]:
+    """Split ``--set`` pairs into fixed overrides and sweep axes.
+
+    ``name=a,b,c`` becomes a sweep axis with values ``[a, b, c]``;
+    single-valued pairs stay plain overrides.
+    """
+    fixed: Dict[str, float] = {}
+    axes: Dict[str, List[float]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--set expects name=value[,value...], "
+                             f"got {pair!r}")
+        name, raw = pair.split("=", 1)
+        name = name.strip()
+        try:
+            values = [float(v) for v in raw.split(",") if v.strip() != ""]
+        except ValueError:
+            raise ValueError(
+                f"--set expects numeric values, got {pair!r}")
+        if not values:
+            raise ValueError(f"--set got no values in {pair!r}")
+        if len(values) == 1:
+            fixed[name] = values[0]
+        else:
+            axes[name] = values
+    return fixed, axes
 
 
 def _describe(result: ExperimentResult) -> str:
@@ -43,12 +88,31 @@ def _describe(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _accepts_kwarg(fn, name: str) -> bool:
+    """Whether calling ``fn(name=...)`` is legal (named param or **kwargs)."""
+    parameters = inspect.signature(fn).parameters
+    if name in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
+
+
+def _print_listing() -> None:
+    for key in sorted(EXPERIMENT_INDEX):
+        module = EXPERIMENT_INDEX[key]
+        summary = (module.__doc__ or "").strip().splitlines()
+        print(f"{key:<8} {summary[0] if summary else ''}")
+
+
 def main(argv: List[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         description="Regenerate a table or figure of the Nimbus paper.")
     parser.add_argument("experiment", nargs="?",
-                        help="Experiment id, e.g. fig09, fig14, table1")
+                        help="Experiment id (e.g. fig09, fig14, table1), or "
+                             "the literal 'sweep' followed by an id")
+    parser.add_argument("target", nargs="?",
+                        help="Experiment id to sweep (with 'sweep')")
     parser.add_argument("--list", action="store_true",
                         help="List available experiment ids and exit")
     parser.add_argument("--duration", type=float, default=None,
@@ -57,37 +121,61 @@ def main(argv: List[str] | None = None) -> int:
                         help="Simulation tick in seconds (default 2 ms)")
     parser.add_argument("--set", dest="overrides", action="append",
                         default=[], metavar="NAME=VALUE",
-                        help="Additional numeric keyword override "
+                        help="Additional numeric keyword override; in sweep "
+                             "mode NAME=V1,V2,... adds a sweep axis "
                              "(repeatable)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
-        for key in sorted(EXPERIMENT_INDEX):
-            module = EXPERIMENT_INDEX[key]
-            summary = (module.__doc__ or "").strip().splitlines()
-            print(f"{key:<8} {summary[0] if summary else ''}")
+        _print_listing()
         return 0
 
-    module = EXPERIMENT_INDEX.get(args.experiment)
+    sweep_mode = args.experiment == "sweep"
+    experiment_id = args.target if sweep_mode else args.experiment
+    if sweep_mode and not experiment_id:
+        print("sweep mode needs an experiment id, e.g. "
+              "'runner sweep fig09 --set seed=1,2,3'", file=sys.stderr)
+        return 2
+    module = EXPERIMENT_INDEX.get(experiment_id)
     if module is None:
-        print(f"unknown experiment {args.experiment!r}; "
+        print(f"unknown experiment {experiment_id!r}; "
               f"try --list", file=sys.stderr)
         return 2
 
-    kwargs = _parse_overrides(args.overrides)
-    kwargs.setdefault("dt", args.dt)
-    if args.duration is not None:
-        kwargs["duration"] = args.duration
-
-    run = getattr(module, "run")
+    fn = f"{module.__name__}:run"
+    # Some drivers do not take a duration (they use phase_duration etc.);
+    # decide up front instead of re-running a whole batch on TypeError.
+    takes_duration = _accepts_kwarg(module.run, "duration")
     try:
-        result = run(**kwargs)
-    except TypeError:
-        # Some drivers do not take a duration (they use phase_duration etc.);
-        # retry without the optional overrides that they rejected.
-        kwargs.pop("duration", None)
-        result = run(**kwargs)
-    print(_describe(result))
+        if sweep_mode:
+            base, axes = _parse_sweep_overrides(args.overrides)
+            base.setdefault("dt", args.dt)
+            if args.duration is not None:
+                base["duration"] = args.duration
+            if not takes_duration:
+                if "duration" in axes:
+                    print(f"{experiment_id} does not take a duration; it "
+                          f"cannot be a sweep axis", file=sys.stderr)
+                    return 2
+                base.pop("duration", None)
+            specs = list(expand_grid(fn, base, axes))
+        else:
+            kwargs = _parse_overrides(args.overrides)
+            kwargs.setdefault("dt", args.dt)
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            if not takes_duration:
+                kwargs.pop("duration", None)
+            specs = [ScenarioSpec.make(fn, label=experiment_id, **kwargs)]
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    results = run_batch(specs)
+    for spec, result in zip(specs, results):
+        if sweep_mode:
+            print(f"--- {experiment_id} [{spec.label}] ---")
+        print(_describe(result))
     return 0
 
 

@@ -1,0 +1,48 @@
+"""Scenario-batch execution runtime.
+
+This package is the repository's answer to "every driver re-simulates from
+scratch on each invocation": a :class:`ScenarioSpec` fully describes one
+simulation (target function plus canonicalised parameters), a
+:class:`BatchExecutor` fans a batch of specs across a process pool and
+memoises each result in an on-disk cache keyed by spec hash + source
+digest, and :mod:`repro.runtime.build` houses the network/scheme factories
+shared by every driver.
+
+Environment knobs:
+
+``REPRO_BENCH_WORKERS``
+    Worker processes per batch (default ``os.cpu_count()``).
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro-runtime``).
+``REPRO_NO_CACHE``
+    Set to ``1`` to disable the on-disk cache entirely.
+
+Layering rule: ``repro.runtime`` never imports ``repro.experiments`` —
+drivers import the runtime, not the reverse.
+"""
+
+from .build import make_network, make_scheme
+from .cache import ResultCache, cache_enabled, default_cache_dir, source_digest
+from .executor import (
+    BatchExecutor,
+    configured_workers,
+    execute_spec,
+    run_batch,
+    run_scenario,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "BatchExecutor",
+    "ResultCache",
+    "ScenarioSpec",
+    "cache_enabled",
+    "configured_workers",
+    "default_cache_dir",
+    "execute_spec",
+    "make_network",
+    "make_scheme",
+    "run_batch",
+    "run_scenario",
+    "source_digest",
+]

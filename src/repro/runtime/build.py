@@ -1,0 +1,83 @@
+"""Factories that turn scenario parameters into simulator objects.
+
+These used to live in ``repro.experiments.common``; they sit in the runtime
+layer now so that scenario execution (and anything else below the driver
+layer) can build networks and schemes without importing the experiments
+package.  ``repro.experiments.common`` re-exports both names, so existing
+driver code is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..cc import (
+    BasicDelay,
+    Bbr,
+    Compound,
+    Copa,
+    Cubic,
+    NewReno,
+    Vegas,
+    Vivace,
+)
+from ..cc.base import CongestionControl
+from ..core.nimbus import Nimbus
+from ..simulator import (
+    BottleneckLink,
+    DropTail,
+    Network,
+    Pie,
+    mbps_to_bytes_per_sec,
+)
+
+
+def make_network(link_mbps: float, buffer_ms: float = 100.0,
+                 dt: float = 0.002, seed: int = 0,
+                 aqm_target_ms: Optional[float] = None) -> Network:
+    """Standard single-bottleneck network used across experiments.
+
+    ``aqm_target_ms`` switches the queue policy from drop-tail to PIE with
+    the given target delay (Appendix E.2).
+    """
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    buffer_bytes = mu * buffer_ms / 1e3
+    if aqm_target_ms is not None:
+        policy = Pie(target_delay=aqm_target_ms / 1e3,
+                     buffer_bytes=buffer_bytes, seed=seed)
+    else:
+        policy = DropTail(buffer_bytes)
+    link = BottleneckLink(capacity=mu, policy=policy)
+    return Network(link, dt=dt, seed=seed)
+
+
+def make_scheme(name: str, mu: float, **overrides) -> CongestionControl:
+    """Instantiate a congestion-control scheme by name.
+
+    Supported names: ``nimbus`` (Cubic + BasicDelay), ``nimbus-copa``
+    (Cubic + Copa default mode), ``nimbus-vegas``, ``nimbus-delay`` (the
+    delay algorithm alone, no mode switching), ``cubic``, ``newreno``,
+    ``vegas``, ``copa``, ``copa-default``, ``bbr``, ``pcc-vivace``,
+    ``compound``, ``basicdelay``.
+    """
+    factories: Dict[str, Callable[[], CongestionControl]] = {
+        "nimbus": lambda: Nimbus(mu=mu, **overrides),
+        "nimbus-copa": lambda: Nimbus(
+            mu=mu, delay=Copa(mode_switching=False), **overrides),
+        "nimbus-vegas": lambda: Nimbus(mu=mu, delay=Vegas(), **overrides),
+        "nimbus-delay": lambda: BasicDelay(mu, **overrides),
+        "basicdelay": lambda: BasicDelay(mu, **overrides),
+        "cubic": lambda: Cubic(**overrides),
+        "newreno": lambda: NewReno(**overrides),
+        "reno": lambda: NewReno(**overrides),
+        "vegas": lambda: Vegas(**overrides),
+        "copa": lambda: Copa(**overrides),
+        "copa-default": lambda: Copa(mode_switching=False, **overrides),
+        "bbr": lambda: Bbr(**overrides),
+        "pcc-vivace": lambda: Vivace(**overrides),
+        "compound": lambda: Compound(**overrides),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; known: {sorted(factories)}")

@@ -1,0 +1,123 @@
+"""On-disk memoisation of scenario results.
+
+Results are pickled under ``<cache dir>/<source digest>/<spec hash>.pkl``.
+The source digest hashes every ``.py`` file of the installed ``repro``
+package, so editing any simulator/driver code invalidates the whole cache
+(stale results from older code can never be served).  Writes go through a
+temp file plus atomic rename, so a crashed or parallel writer can at worst
+leave an orphan temp file, never a truncated entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Sentinel distinguishing "no cached entry" from a cached ``None``.
+MISS = object()
+
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to anything but an explicit no.
+
+    Anyone setting the variable wants the cache off; only the empty string
+    and explicit falsy spellings (``0``, ``false``, ``no``, ``off``) keep
+    it on.
+    """
+    return os.environ.get("REPRO_NO_CACHE", "").strip().lower() in (
+        "", "0", "false", "no", "off")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runtime``."""
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-runtime"
+
+
+def source_digest() -> str:
+    """Hash of all ``repro`` package sources, memoised per process."""
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SOURCE_DIGEST = digest.hexdigest()[:16]
+    return _SOURCE_DIGEST
+
+
+class ResultCache:
+    """Pickle-per-entry result store, keyed by spec hash + source digest.
+
+    Args:
+        directory: Cache root; defaults to :func:`default_cache_dir`.
+        enabled: Defaults to :func:`cache_enabled` (``REPRO_NO_CACHE``).
+    """
+
+    def __init__(self, directory: Optional[Path] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, spec_hash: str) -> Path:
+        return self.directory / source_digest() / f"{spec_hash}.pkl"
+
+    def get(self, spec_hash: str) -> Any:
+        """The cached result, or the module-level ``MISS`` sentinel."""
+        if not self.enabled:
+            return MISS
+        path = self._entry_path(spec_hash)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # Absent, truncated, or pickled against code that no longer
+            # exists: all are plain misses.
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return result
+
+    def put(self, spec_hash: str, result: Any) -> bool:
+        """Store a result; returns False when disabled or unpicklable."""
+        if not self.enabled:
+            return False
+        path = self._entry_path(spec_hash)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            return False
+        return True
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) observed by this cache instance."""
+        return self.hits, self.misses

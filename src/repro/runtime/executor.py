@@ -1,0 +1,128 @@
+"""Batch execution of scenario specs with memoisation.
+
+The executor resolves each spec's result in three tiers: the on-disk cache,
+then a process pool for the misses (``REPRO_BENCH_WORKERS`` workers,
+default ``os.cpu_count()``), falling back to in-process serial execution
+when only one worker is configured or the batch has a single miss.
+
+Serial results are round-tripped through pickle before being returned, so
+a batch produces bit-identical payloads whether it ran serially, pooled,
+or from the cache — the pickle codec is the common denominator, and
+structures that differ only in memoised object identity (shared vs copied
+arrays) collapse to the same bytes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .cache import MISS, ResultCache
+from .spec import ScenarioSpec
+
+#: Set in worker processes (and honoured by nested executors) so a driver
+#: that itself fans out a batch cannot recursively spawn pools.
+_WORKER_ENV = "REPRO_RUNTIME_WORKER"
+
+
+def configured_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``, default ``os.cpu_count()``."""
+    if os.environ.get(_WORKER_ENV):
+        return 1
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BENCH_WORKERS must be an integer, got {raw!r}")
+    return os.cpu_count() or 1
+
+
+def execute_spec(spec: ScenarioSpec) -> Any:
+    """Run one spec to completion (no caching) and return its result."""
+    target = spec.resolve()
+    return target(**spec.kwargs())
+
+
+def _execute_in_worker(spec: ScenarioSpec) -> Any:
+    """Pool entry point: mark the process as a worker, then execute."""
+    os.environ[_WORKER_ENV] = "1"
+    return execute_spec(spec)
+
+
+def _pickle_roundtrip(result: Any) -> Any:
+    """Re-serialise a result exactly as a pool worker would."""
+    return pickle.loads(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class BatchExecutor:
+    """Runs batches of :class:`ScenarioSpec` with caching and fan-out.
+
+    Args:
+        workers: Process-pool width; ``None`` reads the environment.
+        cache: Result cache; ``None`` builds one from the environment.
+            Pass ``ResultCache(enabled=False)`` to force cold runs.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.workers = configured_workers() if workers is None else max(1, workers)
+        self.cache = ResultCache() if cache is None else cache
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
+        """Execute a batch; results come back in spec order.
+
+        Identical specs within one batch are simulated once: the misses
+        are deduplicated by spec hash and the shared result fanned back
+        out to every position.
+        """
+        specs = list(specs)
+        hashes = [spec.spec_hash() for spec in specs]
+        results: List[Any] = [self.cache.get(h) for h in hashes]
+
+        unique: dict = {}
+        for index, result in enumerate(results):
+            if result is MISS and hashes[index] not in unique:
+                unique[hashes[index]] = index
+        if unique:
+            fresh = self._run_misses([specs[i] for i in unique.values()])
+            by_hash = dict(zip(unique, fresh))
+            for spec_hash, result in by_hash.items():
+                self.cache.put(spec_hash, result)
+            for index, result in enumerate(results):
+                if result is MISS:
+                    results[index] = by_hash[hashes[index]]
+        return results
+
+    def run_one(self, spec: ScenarioSpec) -> Any:
+        """Single-spec convenience wrapper around :meth:`run`."""
+        return self.run([spec])[0]
+
+    def map(self, fn: Callable | str, param_sets: Iterable[dict],
+            **shared: Any) -> List[Any]:
+        """Run ``fn`` once per parameter set (plus shared kwargs)."""
+        specs = [ScenarioSpec.make(fn, **{**shared, **params})
+                 for params in param_sets]
+        return self.run(specs)
+
+    def _run_misses(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
+        if self.workers <= 1 or len(specs) <= 1:
+            return [_pickle_roundtrip(execute_spec(spec)) for spec in specs]
+        width = min(self.workers, len(specs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=width) as pool:
+            return list(pool.map(_execute_in_worker, specs))
+
+
+def run_batch(specs: Sequence[ScenarioSpec],
+              workers: Optional[int] = None,
+              cache: Optional[ResultCache] = None) -> List[Any]:
+    """Execute a batch of specs with a throwaway executor."""
+    return BatchExecutor(workers=workers, cache=cache).run(specs)
+
+
+def run_scenario(fn: Callable | str, **params: Any) -> Any:
+    """Build one spec from ``fn``/``params`` and execute it (cached)."""
+    return BatchExecutor().run_one(ScenarioSpec.make(fn, **params))

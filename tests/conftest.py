@@ -19,6 +19,16 @@ from repro.cc import Cubic, NullCC  # noqa: E402
 from repro.traffic import PoissonSource  # noqa: E402
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the scenario-result cache at a per-test directory.
+
+    Unit tests must neither read stale entries from nor write entries into
+    the user's real ``~/.cache/repro-runtime``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def small_network():
     """A 24 Mbit/s, 100 ms-buffer network with a coarse tick for fast tests."""

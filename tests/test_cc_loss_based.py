@@ -1,6 +1,5 @@
 """Loss-based algorithms: NewReno, Cubic, Compound."""
 
-import math
 
 import pytest
 

@@ -71,7 +71,6 @@ class TestVivace:
         assert network.recorder.mean_throughput("vivace", start=10.0) > 10.0
 
     def test_utility_penalises_latency_growth(self):
-        vivace = Vivace()
         rate_mbps = 10.0
         flat = rate_mbps ** Vivace.EXPONENT
         penalised = (rate_mbps ** Vivace.EXPONENT

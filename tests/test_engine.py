@@ -4,7 +4,7 @@ import pytest
 
 from repro import quick_network
 from repro.cc import Cubic, NullCC
-from repro.simulator import Flow, FiniteSource, mbps_to_bytes_per_sec
+from repro.simulator import Flow, FiniteSource
 from repro.simulator.source import PacedSource
 
 

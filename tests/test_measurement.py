@@ -1,6 +1,5 @@
 """Windowed counters and per-flow measurement (S, R, RTT, paired rates)."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.experiments import runner
+import _toy_driver
+from repro.experiments import EXPERIMENT_INDEX, runner
+
+
+@pytest.fixture
+def toy_index(monkeypatch):
+    """Register the microscopic fake driver under the id ``toy``."""
+    monkeypatch.setitem(EXPERIMENT_INDEX, "toy", _toy_driver)
+    return "toy"
 
 
 def test_list_exits_cleanly(capsys):
@@ -20,6 +28,74 @@ def test_parse_overrides():
         "load": 0.9, "seed": 3.0}
     with pytest.raises(ValueError):
         runner._parse_overrides(["oops"])
+    with pytest.raises(ValueError):
+        runner._parse_overrides(["seed=banana"])
+
+
+def test_bad_override_exits_with_error(toy_index, capsys):
+    assert runner.main(["toy", "--set", "oops"]) == 2
+    assert "name=value" in capsys.readouterr().err
+    assert runner.main(["toy", "--set", "seed=banana"]) == 2
+    assert "numeric" in capsys.readouterr().err
+
+
+def test_single_run_via_runtime(toy_index, capsys):
+    assert runner.main(["toy", "--set", "seed=4", "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "== toy ==" in out
+    assert "mean:" in out and "n:" in out
+
+
+def test_duration_dropped_for_drivers_without_duration(monkeypatch, capsys):
+    import _toy_driver2
+
+    monkeypatch.setitem(EXPERIMENT_INDEX, "toy2", _toy_driver2)
+    assert runner.main(["toy2", "--duration", "9.0"]) == 0
+    assert "== toy ==" in capsys.readouterr().out
+
+
+def test_duration_sweep_axis_rejected_without_duration(monkeypatch, capsys):
+    import _toy_driver2
+
+    monkeypatch.setitem(EXPERIMENT_INDEX, "toy2", _toy_driver2)
+    assert runner.main(["sweep", "toy2", "--set", "duration=1,2"]) == 2
+    assert "cannot be a sweep axis" in capsys.readouterr().err
+    # A sweep over a parameter the driver does accept still works.
+    assert runner.main(["sweep", "toy2", "--set", "seed=1,2"]) == 0
+    assert capsys.readouterr().out.count("--- toy2 [") == 2
+
+
+def test_parse_sweep_overrides():
+    fixed, axes = runner._parse_sweep_overrides(
+        ["seed=1,2,3", "load=0.9", "scale=1,2"])
+    assert fixed == {"load": 0.9}
+    assert axes == {"seed": [1.0, 2.0, 3.0], "scale": [1.0, 2.0]}
+    with pytest.raises(ValueError):
+        runner._parse_sweep_overrides(["oops"])
+    with pytest.raises(ValueError):
+        runner._parse_sweep_overrides(["seed=1,banana"])
+    with pytest.raises(ValueError):
+        runner._parse_sweep_overrides(["seed=,"])
+
+
+def test_sweep_mode_expands_the_grid(toy_index, capsys):
+    code = runner.main(["sweep", "toy", "--duration", "0.5",
+                        "--set", "seed=1,2,3", "--set", "scale=2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("--- toy [") == 3
+    for seed in (1, 2, 3):
+        assert f"seed={float(seed)}" in out
+
+
+def test_sweep_mode_requires_target(capsys):
+    assert runner.main(["sweep"]) == 2
+    assert "experiment id" in capsys.readouterr().err
+
+
+def test_sweep_unknown_experiment(capsys):
+    assert runner.main(["sweep", "figXX"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
 
 
 @pytest.mark.slow

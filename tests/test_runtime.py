@@ -1,0 +1,245 @@
+"""The scenario-batch runtime: specs, cache, and batch executor."""
+
+from __future__ import annotations
+
+import pickle
+import sys
+
+import pytest
+
+import _toy_driver
+from repro.runtime import (
+    BatchExecutor,
+    ResultCache,
+    ScenarioSpec,
+    run_batch,
+    run_scenario,
+    source_digest,
+)
+from repro.runtime.cache import MISS
+from repro.runtime.spec import canonicalize, expand_grid
+
+
+# --------------------------------------------------------------------- #
+# ScenarioSpec
+# --------------------------------------------------------------------- #
+def test_spec_identity_is_order_and_spelling_independent():
+    a = ScenarioSpec.make(_toy_driver.run, seed=1, duration=2.0)
+    b = ScenarioSpec.make(_toy_driver.run, duration=2, seed=1.0)
+    assert a == b
+    assert a.spec_hash() == b.spec_hash()
+
+
+def test_spec_distinguishes_parameters_and_targets():
+    base = ScenarioSpec.make(_toy_driver.run, seed=1)
+    assert base.spec_hash() != ScenarioSpec.make(_toy_driver.run,
+                                                 seed=2).spec_hash()
+    assert base.spec_hash() != ScenarioSpec.make(_toy_driver.run_no_duration,
+                                                 seed=1).spec_hash()
+
+
+def test_spec_label_not_part_of_identity():
+    a = ScenarioSpec.make(_toy_driver.run, label="x", seed=1)
+    b = ScenarioSpec.make(_toy_driver.run, label="y", seed=1)
+    assert a == b and a.spec_hash() == b.spec_hash()
+
+
+def test_canonicalize_rejects_objects():
+    with pytest.raises(TypeError):
+        canonicalize(object())
+    assert canonicalize([1, (2, 3)]) == (1, (2, 3))
+    assert canonicalize({"b": 1, "a": [2]}) == ("!map", ("a", (2,)), ("b", 1))
+    # Non-string dict keys cannot round-trip and must be rejected, not
+    # silently coerced (coercion would alias distinct cache keys).
+    with pytest.raises(TypeError):
+        canonicalize({1: 0.5})
+
+
+def test_dataclass_params_round_trip():
+    from repro.experiments.internet_paths import PathProfile
+
+    profile = PathProfile(name="p", link_mbps=40, prop_rtt=0.09,
+                          buffer_ms=200, inelastic_load=0.15,
+                          elastic_cross=False, wan_mix=False,
+                          description="d", extra={})
+    spec = ScenarioSpec.make(_toy_driver.run, profiles=(profile,))
+    (rebuilt,) = spec.kwargs()["profiles"]
+    assert rebuilt == profile
+    assert spec.spec_hash() == ScenarioSpec.make(
+        _toy_driver.run, profiles=(profile,)).spec_hash()
+
+
+def test_spec_requires_module_level_function():
+    with pytest.raises(TypeError):
+        ScenarioSpec.make(lambda: None)
+
+
+def test_spec_resolve_and_roundtrip():
+    spec = ScenarioSpec.make(_toy_driver.run, seed=3, duration=0.1)
+    assert spec.resolve() is _toy_driver.run
+    assert spec.kwargs() == {"seed": 3, "duration": 0.1}
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec and clone.spec_hash() == spec.spec_hash()
+
+
+def test_expand_grid_cross_product():
+    specs = expand_grid(_toy_driver.run, {"dt": 0.004},
+                        {"seed": [1, 2], "scale": [1.0, 2.0, 3.0]})
+    assert len(specs) == 6
+    assert {s.kwargs()["seed"] for s in specs} == {1, 2}
+    assert specs[0].kwargs() == {"dt": 0.004, "seed": 1, "scale": 1}
+    assert specs[0].label == "seed=1,scale=1.0"
+    # No axes: a single spec with just the base parameters.
+    (only,) = expand_grid(_toy_driver.run, {"seed": 5}, {})
+    assert only.kwargs() == {"seed": 5}
+
+
+# --------------------------------------------------------------------- #
+# ResultCache
+# --------------------------------------------------------------------- #
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    assert cache.get("abc") is MISS
+    assert cache.put("abc", {"x": 1})
+    assert cache.get("abc") == {"x": 1}
+    assert cache.stats() == (1, 1)
+
+
+def test_cache_disabled_via_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    cache = ResultCache(directory=tmp_path)
+    assert not cache.put("abc", 42)
+    assert cache.get("abc") is MISS
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cache_env_spellings(monkeypatch):
+    from repro.runtime import cache_enabled
+
+    for value in ("1", "true", "TRUE", "on", "2", "anything"):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert not cache_enabled(), value
+    for value in ("", "0", "false", "no", "off", "False"):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert cache_enabled(), repr(value)
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    cache.put("abc", 42)
+    (tmp_path / source_digest() / "abc.pkl").write_bytes(b"not a pickle")
+    assert cache.get("abc") is MISS
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    cache = ResultCache()
+    cache.put("abc", 1)
+    assert (tmp_path / "elsewhere" / source_digest() / "abc.pkl").exists()
+
+
+# --------------------------------------------------------------------- #
+# BatchExecutor
+# --------------------------------------------------------------------- #
+def _batch(n=3, **overrides):
+    return [ScenarioSpec.make(_toy_driver.run, seed=i, duration=0.1,
+                              **overrides) for i in range(n)]
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    executor = BatchExecutor(workers=1, cache=cache)
+    before = _toy_driver.CALLS["run"]
+    cold = executor.run(_batch())
+    assert _toy_driver.CALLS["run"] == before + 3
+    warm = executor.run(_batch())
+    assert _toy_driver.CALLS["run"] == before + 3  # no re-execution
+    assert pickle.dumps(cold) == pickle.dumps(warm)
+
+
+def test_serial_and_pooled_runs_are_bit_identical(tmp_path):
+    specs = _batch(3)
+    serial = BatchExecutor(workers=1,
+                           cache=ResultCache(enabled=False)).run(specs)
+    pooled = BatchExecutor(workers=2,
+                           cache=ResultCache(enabled=False)).run(specs)
+    assert pickle.dumps(serial) == pickle.dumps(pooled)
+
+
+def test_pooled_run_populates_the_shared_cache(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    pooled = BatchExecutor(workers=2, cache=cache).run(_batch(2))
+    again = BatchExecutor(workers=1, cache=cache).run(_batch(2))
+    assert pickle.dumps(pooled) == pickle.dumps(again)
+    assert cache.stats()[0] == 2  # both warm lookups hit
+
+
+def test_duplicate_specs_in_one_batch_run_once(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    spec = ScenarioSpec.make(_toy_driver.run, seed=42, duration=0.1)
+    before = _toy_driver.CALLS["run"]
+    results = BatchExecutor(workers=1, cache=cache).run([spec, spec, spec])
+    assert _toy_driver.CALLS["run"] == before + 1
+    assert len(results) == 3
+    assert pickle.dumps(results[0]) == pickle.dumps(results[2])
+    # Dedup also applies with the cache disabled.
+    before = _toy_driver.CALLS["run"]
+    BatchExecutor(workers=1, cache=ResultCache(enabled=False)).run(
+        [spec, spec])
+    assert _toy_driver.CALLS["run"] == before + 1
+
+
+def test_partial_cache_hits_fill_only_the_misses(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    executor = BatchExecutor(workers=1, cache=cache)
+    executor.run(_batch(2))
+    before = _toy_driver.CALLS["run"]
+    results = executor.run(_batch(4))
+    assert _toy_driver.CALLS["run"] == before + 2  # seeds 2, 3 only
+    assert [r.parameters["seed"] for r in results] == [0, 1, 2, 3]
+
+
+def test_workers_env_is_honoured(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "7")
+    assert BatchExecutor().workers == 7
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "banana")
+    with pytest.raises(ValueError):
+        BatchExecutor()
+    # Inside a pool worker the nested width is always 1.
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "7")
+    monkeypatch.setenv("REPRO_RUNTIME_WORKER", "1")
+    assert BatchExecutor().workers == 1
+
+
+def test_run_scenario_convenience(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    result = run_scenario(_toy_driver.run, seed=9, duration=0.1)
+    assert result.parameters["seed"] == 9
+    again = run_scenario(_toy_driver.run, seed=9, duration=0.1)
+    assert pickle.dumps(result) == pickle.dumps(again)
+
+
+def test_run_batch_preserves_order(tmp_path):
+    specs = list(reversed(_batch(3)))
+    results = run_batch(specs, workers=1, cache=ResultCache(enabled=False))
+    assert [r.parameters["seed"] for r in results] == [2, 1, 0]
+
+
+# --------------------------------------------------------------------- #
+# Layering
+# --------------------------------------------------------------------- #
+def test_runtime_does_not_import_experiments():
+    """The runtime layer must stay importable without the driver layer."""
+    import os
+    import subprocess
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    code = ("import sys; import repro.runtime; "
+            "bad = [m for m in sys.modules if m.startswith('repro.experiments')]; "
+            "sys.exit(1 if bad else 0)")
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    assert proc.returncode == 0

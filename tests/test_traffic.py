@@ -3,7 +3,6 @@
 import pytest
 
 from repro import quick_network
-from repro.cc import Cubic
 from repro.simulator import mbps_to_bytes_per_sec
 from repro.traffic import (
     ELASTIC_THRESHOLD_BYTES,
