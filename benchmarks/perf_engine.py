@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Engine microbenchmarks: the tracked perf trajectory of the simulator.
+
+Times three representative scenarios end to end (no caching, no pytest):
+
+* ``cruise``        — one Cubic flow on a 24 Mbit/s link (the tier-1 staple),
+* ``contention16``  — sixteen Cubic flows sharing a 96 Mbit/s link,
+* ``fig09_wan``     — a Nimbus flow against Poisson/heavy-tailed WAN cross
+                      traffic at 50 % load (the Figure 9 regime, and the
+                      historical hot spot: thousands of short flows churn
+                      through the engine).
+
+Results are written to ``BENCH_engine.json`` at the repo root — one schema,
+one file, appended to version control so every PR is held to the trajectory.
+``--check`` compares a fresh run against the committed baseline and exits
+non-zero when any tracked scenario regressed more than ``--threshold``
+(default 2x), which is what the CI perf-smoke job runs.
+
+Usage::
+
+    python benchmarks/perf_engine.py                  # time + write JSON
+    python benchmarks/perf_engine.py --check          # compare vs committed
+    python benchmarks/perf_engine.py --scenario cruise --repeat 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+# Allow running from a source checkout without installation, while still
+# honouring a PYTHONPATH that points at another tree (A/B timing).
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, _SRC)
+
+from repro.cc import Cubic  # noqa: E402
+from repro.core.nimbus import Nimbus  # noqa: E402
+from repro.runtime.build import make_network  # noqa: E402
+from repro.simulator import Flow, mbps_to_bytes_per_sec  # noqa: E402
+from repro.traffic import WanTrafficGenerator, WanWorkloadConfig  # noqa: E402
+
+#: Default location of the tracked trajectory file (repo root).
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_engine.json")
+
+#: Schema version of the JSON payload.
+SCHEMA = 1
+
+
+def _scenario_cruise() -> Dict[str, float]:
+    """Single-flow cruise: one Cubic flow saturating a 24 Mbit/s link."""
+    network = make_network(link_mbps=24.0, buffer_ms=100.0, dt=0.002, seed=0)
+    network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="cubic"))
+    return _run_and_measure(network, duration=30.0)
+
+
+def _scenario_contention16() -> Dict[str, float]:
+    """Sixteen Cubic flows with staggered starts sharing a 96 Mbit/s link."""
+    network = make_network(link_mbps=96.0, buffer_ms=100.0, dt=0.002, seed=0)
+    for index in range(16):
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05,
+                              start_time=0.25 * index, name=f"f{index}"))
+    return _run_and_measure(network, duration=10.0)
+
+
+def _scenario_fig09_wan() -> Dict[str, float]:
+    """Figure-9 regime: Nimbus vs heavy-tailed WAN cross traffic at 50 % load."""
+    link_mbps = 96.0
+    network = make_network(link_mbps=link_mbps, buffer_ms=100.0, dt=0.002,
+                           seed=1)
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    network.add_flow(Flow(cc=Nimbus(mu=mu), prop_rtt=0.05, name="nimbus"))
+    generator = WanTrafficGenerator(network, WanWorkloadConfig(
+        link_rate=mu, load=0.5, prop_rtt=0.05, seed=1))
+    generator.start()
+    return _run_and_measure(network, duration=15.0)
+
+
+SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "cruise": _scenario_cruise,
+    "contention16": _scenario_contention16,
+    "fig09_wan": _scenario_fig09_wan,
+}
+
+
+def _run_and_measure(network, duration: float) -> Dict[str, float]:
+    start = time.perf_counter()
+    network.run(duration)
+    elapsed = time.perf_counter() - start
+    ticks = int(round(network.now / network.dt))
+    return {
+        "seconds": elapsed,
+        "sim_seconds": duration,
+        "dt": network.dt,
+        "ticks": ticks,
+        "ticks_per_sec": ticks / elapsed if elapsed > 0 else 0.0,
+        "flows": len(network.flows),
+    }
+
+
+def run_scenarios(names, repeat: int = 1) -> Dict[str, Dict[str, float]]:
+    """Run each named scenario ``repeat`` times; keep the fastest timing."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        best: Dict[str, float] | None = None
+        for _ in range(max(1, repeat)):
+            stats = SCENARIOS[name]()
+            if best is None or stats["seconds"] < best["seconds"]:
+                best = stats
+        assert best is not None
+        results[name] = best
+        print(f"{name:<14} {best['seconds']:8.2f}s  "
+              f"{best['ticks_per_sec']:>10.0f} ticks/s  "
+              f"({best['flows']} flows)")
+    return results
+
+
+def write_report(results: Dict[str, Dict[str, float]], path: str) -> dict:
+    report = {
+        "schema": SCHEMA,
+        "bench": "engine",
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "scenarios": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def check_against_baseline(results: Dict[str, Dict[str, float]],
+                           baseline_path: str, threshold: float) -> int:
+    """Exit code 0 when no tracked scenario regressed beyond ``threshold``."""
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read baseline {baseline_path}: {error}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for name, stats in sorted(results.items()):
+        ref = baseline.get("scenarios", {}).get(name)
+        if ref is None:
+            print(f"{name}: no baseline entry (new scenario), skipping")
+            continue
+        ratio = stats["seconds"] / max(ref["seconds"], 1e-9)
+        status = "OK" if ratio <= threshold else "REGRESSED"
+        print(f"{name:<14} {ref['seconds']:7.2f}s -> {stats['seconds']:7.2f}s "
+              f"({ratio:.2f}x)  {status}")
+        if ratio > threshold:
+            failures.append(name)
+    if failures:
+        print(f"perf regression (> {threshold:.1f}x) in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the simulator hot path on tracked scenarios.")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="Where to write the JSON report "
+                             "(default: BENCH_engine.json at the repo root)")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=sorted(SCENARIOS), default=None,
+                        help="Scenario subset (repeatable; default: all)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="Runs per scenario; the fastest is kept")
+    parser.add_argument("--check", action="store_true",
+                        help="Compare against the committed baseline instead "
+                             "of overwriting it; exit 1 on regression")
+    parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
+                        help="Baseline JSON for --check "
+                             "(default: the committed BENCH_engine.json)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="Allowed slowdown factor for --check (default 2)")
+    args = parser.parse_args(argv)
+
+    names = args.scenarios or sorted(SCENARIOS)
+    results = run_scenarios(names, repeat=args.repeat)
+    if args.check:
+        # Keep the committed baseline untouched, but still emit the fresh
+        # numbers when an explicit --output differs (CI uploads them as an
+        # artifact of the perf-smoke job).
+        if os.path.abspath(args.output) != os.path.abspath(args.baseline):
+            write_report(results, args.output)
+            print(f"wrote {args.output}")
+        return check_against_baseline(results, args.baseline, args.threshold)
+    write_report(results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,9 +25,10 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+import time
 from typing import Dict, List, Tuple
 
-from ..runtime import ScenarioSpec, run_batch
+from ..runtime import BatchExecutor, ScenarioSpec
 from ..runtime.spec import expand_grid
 from . import EXPERIMENT_INDEX
 from .common import ExperimentResult
@@ -88,6 +89,17 @@ def _describe(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _print_profile(stats, wall: float) -> None:
+    """Render per-scenario wall times and cache accounting for --profile."""
+    print("--- profile ---")
+    for label, seconds in stats.timings:
+        status = "cached" if seconds is None else f"{seconds:8.2f}s"
+        print(f"{label:<40} {status}")
+    print(f"batch: {len(stats.timings)} spec(s) in {wall:.2f}s — "
+          f"{stats.hits} cache hit(s), {stats.misses} miss(es), "
+          f"{stats.executed} executed")
+
+
 def _accepts_kwarg(fn, name: str) -> bool:
     """Whether calling ``fn(name=...)`` is legal (named param or **kwargs)."""
     parameters = inspect.signature(fn).parameters
@@ -124,6 +136,9 @@ def main(argv: List[str] | None = None) -> int:
                         help="Additional numeric keyword override; in sweep "
                              "mode NAME=V1,V2,... adds a sweep axis "
                              "(repeatable)")
+    parser.add_argument("--profile", action="store_true",
+                        help="After the batch, print per-scenario wall time "
+                             "and cache hit/miss counts")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -171,11 +186,16 @@ def main(argv: List[str] | None = None) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
-    results = run_batch(specs)
+    executor = BatchExecutor()
+    begin = time.perf_counter()
+    results = executor.run(specs)
+    wall = time.perf_counter() - begin
     for spec, result in zip(specs, results):
         if sweep_mode:
             print(f"--- {experiment_id} [{spec.label}] ---")
         print(_describe(result))
+    if args.profile:
+        _print_profile(executor.last_stats, wall)
     return 0
 
 

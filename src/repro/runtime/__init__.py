@@ -25,6 +25,7 @@ from .build import make_network, make_scheme
 from .cache import ResultCache, cache_enabled, default_cache_dir, source_digest
 from .executor import (
     BatchExecutor,
+    BatchStats,
     configured_workers,
     execute_spec,
     run_batch,
@@ -34,6 +35,7 @@ from .spec import ScenarioSpec
 
 __all__ = [
     "BatchExecutor",
+    "BatchStats",
     "ResultCache",
     "ScenarioSpec",
     "cache_enabled",

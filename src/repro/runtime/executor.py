@@ -17,7 +17,9 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import MISS, ResultCache
 from .spec import ScenarioSpec
@@ -47,10 +49,32 @@ def execute_spec(spec: ScenarioSpec) -> Any:
     return target(**spec.kwargs())
 
 
-def _execute_in_worker(spec: ScenarioSpec) -> Any:
-    """Pool entry point: mark the process as a worker, then execute."""
+def _timed_execute_in_worker(spec: ScenarioSpec) -> Tuple[float, Any]:
+    """Pool entry point: mark the process as a worker, execute, and time it."""
     os.environ[_WORKER_ENV] = "1"
-    return execute_spec(spec)
+    begin = time.perf_counter()
+    result = execute_spec(spec)
+    return time.perf_counter() - begin, result
+
+
+@dataclass
+class BatchStats:
+    """Cache accounting for the most recent :meth:`BatchExecutor.run`.
+
+    Attributes:
+        hits: Spec positions served straight from the on-disk cache.
+        misses: Spec positions that required a simulation.
+        executed: Simulations actually run (misses minus in-batch
+            duplicates, which are simulated once and fanned out).
+        timings: One ``(label, seconds)`` pair per spec, in batch order;
+            ``seconds`` is ``None`` for cache hits and the execution wall
+            time otherwise (duplicates report the shared execution's time).
+    """
+
+    hits: int
+    misses: int
+    executed: int
+    timings: List[Tuple[str, Optional[float]]]
 
 
 def _pickle_roundtrip(result: Any) -> Any:
@@ -71,6 +95,8 @@ class BatchExecutor:
                  cache: Optional[ResultCache] = None) -> None:
         self.workers = configured_workers() if workers is None else max(1, workers)
         self.cache = ResultCache() if cache is None else cache
+        #: Accounting for the most recent batch (see :class:`BatchStats`).
+        self.last_stats: Optional[BatchStats] = None
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
         """Execute a batch; results come back in spec order.
@@ -82,19 +108,29 @@ class BatchExecutor:
         specs = list(specs)
         hashes = [spec.spec_hash() for spec in specs]
         results: List[Any] = [self.cache.get(h) for h in hashes]
+        missed = [result is MISS for result in results]
 
         unique: dict = {}
         for index, result in enumerate(results):
             if result is MISS and hashes[index] not in unique:
                 unique[hashes[index]] = index
+        seconds_by_hash: dict = {}
         if unique:
             fresh = self._run_misses([specs[i] for i in unique.values()])
             by_hash = dict(zip(unique, fresh))
-            for spec_hash, result in by_hash.items():
+            for spec_hash, (seconds, result) in by_hash.items():
+                seconds_by_hash[spec_hash] = seconds
                 self.cache.put(spec_hash, result)
             for index, result in enumerate(results):
                 if result is MISS:
-                    results[index] = by_hash[hashes[index]]
+                    results[index] = by_hash[hashes[index]][1]
+        self.last_stats = BatchStats(
+            hits=missed.count(False),
+            misses=missed.count(True),
+            executed=len(unique),
+            timings=[(spec.label,
+                      seconds_by_hash[hashes[index]] if missed[index] else None)
+                     for index, spec in enumerate(specs)])
         return results
 
     def run_one(self, spec: ScenarioSpec) -> Any:
@@ -108,12 +144,20 @@ class BatchExecutor:
                  for params in param_sets]
         return self.run(specs)
 
-    def _run_misses(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
+    def _run_misses(self,
+                    specs: Sequence[ScenarioSpec]) -> List[Tuple[float, Any]]:
+        """Execute specs, returning ``(wall seconds, result)`` per spec."""
         if self.workers <= 1 or len(specs) <= 1:
-            return [_pickle_roundtrip(execute_spec(spec)) for spec in specs]
+            timed: List[Tuple[float, Any]] = []
+            for spec in specs:
+                begin = time.perf_counter()
+                result = execute_spec(spec)
+                timed.append((time.perf_counter() - begin,
+                              _pickle_roundtrip(result)))
+            return timed
         width = min(self.workers, len(specs))
         with concurrent.futures.ProcessPoolExecutor(max_workers=width) as pool:
-            return list(pool.map(_execute_in_worker, specs))
+            return list(pool.map(_timed_execute_in_worker, specs))
 
 
 def run_batch(specs: Sequence[ScenarioSpec],

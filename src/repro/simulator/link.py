@@ -19,9 +19,13 @@ from .aqm import DropTail, QueuePolicy
 from .packet import Chunk
 
 
-@dataclass
+@dataclass(slots=True)
 class DropRecord:
-    """Bytes dropped for a flow at a given time."""
+    """Bytes dropped for a flow at a given time.
+
+    Slotted: under heavy congestion one record is cut per flow per tick,
+    so these ride the same hot path as :class:`~repro.simulator.packet.Chunk`.
+    """
 
     flow_id: int
     lost_bytes: float
@@ -47,6 +51,12 @@ class BottleneckLink:
         self.name = name
         self._queue: Deque[Chunk] = deque()
         self.queue_bytes = 0.0
+        #: Per-flow queued-byte and queued-chunk counters, kept in lockstep
+        #: with ``_queue`` so :meth:`occupancy_of` is O(1) instead of a scan.
+        #: A flow's entries are removed once its last chunk leaves, which
+        #: also resets any accumulated float residue to an exact zero.
+        self._flow_bytes: dict[int, float] = {}
+        self._flow_chunks: dict[int, int] = {}
         self.total_drops: float = 0.0
         self.total_served: float = 0.0
         #: Unused service capacity carried over between ticks (bytes).  The
@@ -64,9 +74,11 @@ class BottleneckLink:
     def occupancy_of(self, flow_id: int) -> float:
         """Bytes currently queued that belong to ``flow_id``.
 
-        Used to compute the "self-inflicted" delay of Figure 3.
+        Used to compute the "self-inflicted" delay of Figure 3; drivers
+        call it every tick, so it reads a maintained counter rather than
+        scanning the queue.
         """
-        return sum(c.size for c in self._queue if c.flow_id == flow_id)
+        return self._flow_bytes.get(flow_id, 0.0)
 
     # ------------------------------------------------------------------ #
     # Enqueue / dequeue
@@ -89,6 +101,11 @@ class BottleneckLink:
             chunk.enqueue_time = now
             self._queue.append(chunk)
             self.queue_bytes += admitted
+            flow_id = chunk.flow_id
+            self._flow_bytes[flow_id] = \
+                self._flow_bytes.get(flow_id, 0.0) + admitted
+            self._flow_chunks[flow_id] = \
+                self._flow_chunks.get(flow_id, 0) + 1
         return drops
 
     def service(self, now: float, dt: float) -> list[Chunk]:
@@ -107,9 +124,17 @@ class BottleneckLink:
                 self._queue.popleft()
                 take = head
                 budget -= head.size
+                remaining = self._flow_chunks[head.flow_id] - 1
+                if remaining:
+                    self._flow_chunks[head.flow_id] = remaining
+                    self._flow_bytes[head.flow_id] -= head.size
+                else:
+                    del self._flow_chunks[head.flow_id]
+                    del self._flow_bytes[head.flow_id]
             else:
                 take = head.split(budget)
                 budget = 0.0
+                self._flow_bytes[head.flow_id] -= take.size
             take.queue_delay += max(0.0, now - take.enqueue_time)
             self.queue_bytes -= take.size
             self.total_served += take.size

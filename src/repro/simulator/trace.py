@@ -5,12 +5,18 @@ runs, binning them into fixed-width intervals.  Experiment drivers query it
 for the same series the paper plots: per-flow throughput over time,
 per-packet queueing delay, the bottleneck queue delay, and the operating
 mode of mode-switching algorithms (Nimbus, Copa).
+
+Bins are stored as growable lists indexed by bin number rather than
+dict-of-bin mappings: simulation time only moves forward, so the bin index
+is nondecreasing and appending amortises to O(1) without the per-sample
+hashing and boxing of a ``defaultdict``.  Series extraction pads every
+per-flow list to the common length and accumulates in the same flow order
+as the historical dict implementation, so the produced arrays are
+bit-identical.
 """
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -23,15 +29,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .packet import Chunk
 
 
+def _grow(values: list, upto: int, fill) -> None:
+    """Extend ``values`` with ``fill`` so that index ``upto`` is valid."""
+    missing = upto + 1 - len(values)
+    if missing > 0:
+        values.extend([fill] * missing)
+
+
 class _FlowRecord:
-    """Per-flow accumulation buckets."""
+    """Per-flow accumulation buckets (dense, indexed by bin number)."""
+
+    __slots__ = ("bytes_by_bin", "qdelay_sum", "qdelay_cnt",
+                 "qdelay_samples", "rtt_samples", "mode_by_bin")
 
     def __init__(self) -> None:
-        self.bytes_by_bin: Dict[int, float] = defaultdict(float)
-        self.qdelay_sum: Dict[int, float] = defaultdict(float)
-        self.qdelay_cnt: Dict[int, int] = defaultdict(int)
+        self.bytes_by_bin: List[float] = []
+        self.qdelay_sum: List[float] = []
+        self.qdelay_cnt: List[int] = []
         self.qdelay_samples: List[float] = []
         self.rtt_samples: List[float] = []
+        #: Sparse: only mode-switching algorithms report a mode at all.
         self.mode_by_bin: Dict[int, str] = {}
 
 
@@ -41,41 +58,62 @@ class Recorder:
     def __init__(self, network: "Network", bin_width: float = 0.1) -> None:
         self.network = network
         self.bin_width = bin_width
-        self._flows: Dict[int, _FlowRecord] = defaultdict(_FlowRecord)
+        #: Insertion-ordered by first touch, which ``_select`` relies on to
+        #: keep cross-flow accumulation order identical run to run.
+        self._flows: Dict[int, _FlowRecord] = {}
         self._names: Dict[int, str] = {}
-        self._link_qdelay_sum: Dict[int, float] = defaultdict(float)
-        self._link_qdelay_cnt: Dict[int, int] = defaultdict(int)
+        self._link_qdelay_sum: List[float] = []
+        self._link_qdelay_cnt: List[int] = []
         self._max_bin = 0
 
     # ------------------------------------------------------------------ #
     # Hooks called by the engine
     # ------------------------------------------------------------------ #
+    def _flow_record(self, flow_id: int) -> _FlowRecord:
+        rec = self._flows.get(flow_id)
+        if rec is None:
+            rec = self._flows[flow_id] = _FlowRecord()
+        return rec
+
     def on_delivery(self, flow: "Flow", chunk: "Chunk", now: float) -> None:
         b = self._bin(now)
-        rec = self._flows[flow.flow_id]
+        rec = self._flow_record(flow.flow_id)
         self._names[flow.flow_id] = flow.name
+        if b >= len(rec.bytes_by_bin):
+            _grow(rec.bytes_by_bin, b, 0.0)
+            _grow(rec.qdelay_sum, b, 0.0)
+            _grow(rec.qdelay_cnt, b, 0)
         rec.bytes_by_bin[b] += chunk.size
         rec.qdelay_sum[b] += chunk.queue_delay * chunk.size
         rec.qdelay_cnt[b] += 1
         rec.qdelay_samples.append(chunk.queue_delay)
-        self._max_bin = max(self._max_bin, b)
+        if b > self._max_bin:
+            self._max_bin = b
 
     def on_tick(self, now: float) -> None:
         b = self._bin(now)
+        if b >= len(self._link_qdelay_sum):
+            _grow(self._link_qdelay_sum, b, 0.0)
+            _grow(self._link_qdelay_cnt, b, 0)
         self._link_qdelay_sum[b] += self.network.link.queue_delay
         self._link_qdelay_cnt[b] += 1
-        self._max_bin = max(self._max_bin, b)
-        for flow in self.network.flows:
+        if b > self._max_bin:
+            self._max_bin = b
+        # The engine's roster lists active flows in flow-id order — the
+        # same order a scan over every flow ever created would visit them.
+        flows = self.network.flows
+        for flow_id in self.network.active_flow_ids():
+            flow = flows[flow_id]
             if not flow.active:
                 continue
             mode = getattr(flow.cc, "mode", None)
             if mode is not None:
-                rec = self._flows[flow.flow_id]
-                self._names[flow.flow_id] = flow.name
+                rec = self._flow_record(flow_id)
+                self._names[flow_id] = flow.name
                 rec.mode_by_bin[b] = mode
             rtt = flow.measurement.rtt
             if rtt > 0:
-                self._flows[flow.flow_id].rtt_samples.append(rtt)
+                self._flow_record(flow_id).rtt_samples.append(rtt)
 
     # ------------------------------------------------------------------ #
     # Series extraction
@@ -92,9 +130,11 @@ class Recorder:
         nbins = self._max_bin + 1
         series = np.zeros(nbins)
         for fid in ids:
-            rec = self._flows[fid]
-            for b, nbytes in rec.bytes_by_bin.items():
-                series[b] += nbytes
+            rec = self._flows.get(fid)
+            if rec is None:
+                continue
+            chunk_bytes = rec.bytes_by_bin
+            series[:len(chunk_bytes)] += chunk_bytes
         rate = series / self.bin_width
         return self.times(), bytes_per_sec_to_mbps(rate)
 
@@ -107,10 +147,11 @@ class Recorder:
         dsum = np.zeros(nbins)
         bsum = np.zeros(nbins)
         for fid in ids:
-            rec = self._flows[fid]
-            for b, s in rec.qdelay_sum.items():
-                dsum[b] += s
-                bsum[b] += rec.bytes_by_bin[b]
+            rec = self._flows.get(fid)
+            if rec is None:
+                continue
+            dsum[:len(rec.qdelay_sum)] += rec.qdelay_sum
+            bsum[:len(rec.bytes_by_bin)] += rec.bytes_by_bin
         with np.errstate(invalid="ignore", divide="ignore"):
             mean = np.where(bsum > 0, dsum / np.maximum(bsum, 1e-12), 0.0)
         return self.times(), mean * 1e3
@@ -119,10 +160,12 @@ class Recorder:
         """(times, ms) average bottleneck queueing delay per bin."""
         nbins = self._max_bin + 1
         series = np.zeros(nbins)
-        for b in range(nbins):
-            cnt = self._link_qdelay_cnt.get(b, 0)
+        qdelay_sum = self._link_qdelay_sum
+        qdelay_cnt = self._link_qdelay_cnt
+        for b in range(min(nbins, len(qdelay_cnt))):
+            cnt = qdelay_cnt[b]
             if cnt:
-                series[b] = self._link_qdelay_sum[b] / cnt
+                series[b] = qdelay_sum[b] / cnt
         return self.times(), series * 1e3
 
     def mode_series(self, name: Optional[str] = None,
@@ -133,7 +176,10 @@ class Recorder:
         nbins = self._max_bin + 1
         modes: List[Optional[str]] = [None] * nbins
         for fid in ids:
-            for b, mode in self._flows[fid].mode_by_bin.items():
+            rec = self._flows.get(fid)
+            if rec is None:
+                continue
+            for b, mode in rec.mode_by_bin.items():
                 modes[b] = mode
         return self.times(), modes
 
@@ -143,7 +189,9 @@ class Recorder:
         ids = self._select(name, flow_id)
         samples: List[float] = []
         for fid in ids:
-            samples.extend(self._flows[fid].qdelay_samples)
+            rec = self._flows.get(fid)
+            if rec is not None:
+                samples.extend(rec.qdelay_samples)
         return np.asarray(samples)
 
     def rtt_samples(self, name: Optional[str] = None,
@@ -152,7 +200,9 @@ class Recorder:
         ids = self._select(name, flow_id)
         samples: List[float] = []
         for fid in ids:
-            samples.extend(self._flows[fid].rtt_samples)
+            rec = self._flows.get(fid)
+            if rec is not None:
+                samples.extend(rec.rtt_samples)
         return np.asarray(samples)
 
     def mean_throughput(self, name: Optional[str] = None,
@@ -173,7 +223,8 @@ class Recorder:
     # Helpers
     # ------------------------------------------------------------------ #
     def _bin(self, now: float) -> int:
-        return int(math.floor(now / self.bin_width))
+        # int() truncation == floor for the engine's non-negative clock.
+        return int(now / self.bin_width)
 
     def _select(self, name: Optional[str], flow_id: Optional[int]) -> List[int]:
         if flow_id is not None:

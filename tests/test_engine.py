@@ -117,3 +117,96 @@ class TestSharing:
         from repro.simulator import BottleneckLink, Network
         with pytest.raises(ValueError):
             Network(BottleneckLink(capacity=1e6), dt=0.0)
+
+
+class TestCalendarQueue:
+    """Regression coverage for the calendar/bucket event store."""
+
+    def test_same_tick_callbacks_run_in_push_order(self, small_network):
+        network, _ = small_network
+        order = []
+        when = 0.1
+        network.schedule_call(when, lambda now: order.append("a"))
+        network.schedule_call(when, lambda now: order.append("b"))
+        network.schedule_call(when, lambda now: order.append("c"))
+        network.run(0.2)
+        assert order == ["a", "b", "c"]
+
+    def test_callback_scheduling_for_current_tick_runs_same_tick(
+            self, small_network):
+        network, _ = small_network
+        seen = []
+
+        def outer(now):
+            seen.append(("outer", now))
+            network.schedule_call(now, lambda t: seen.append(("inner", t)))
+
+        network.schedule_call(0.1, outer)
+        network.run(0.2)
+        assert len(seen) == 2
+        # The chained callback fired at the same clock reading, exactly as
+        # it would have popped from a single global heap.
+        assert seen[0][1] == seen[1][1]
+
+    def test_far_future_event_spills_without_growing_the_clock(
+            self, small_network):
+        network, _ = small_network
+        horizon = network._spill_span
+        network.schedule_call(network.now + horizon + 1.0,
+                              lambda now: None)
+        assert len(network._spill) == 1
+        assert not network._calendar
+        # The future-clock array must not have materialised a million ticks.
+        assert len(network._future_times) < 1000
+        network.run(0.1)
+        assert len(network._spill) == 1  # still parked, still cheap
+
+    def test_finished_flow_leaves_the_active_roster(self, small_network):
+        network, _ = small_network
+        flow = network.add_flow(Flow(cc=Cubic(), prop_rtt=0.04,
+                                     source=FiniteSource(200_000),
+                                     name="finite"))
+        assert network.active_flow_ids() == [flow.flow_id]
+        network.run(30.0)
+        assert flow.finished
+        assert network.active_flow_ids() == []
+        assert list(network.active_flows()) == []
+
+    def test_delayed_start_joins_the_roster(self, small_network):
+        network, _ = small_network
+        late = network.add_flow(Flow(cc=Cubic(), prop_rtt=0.04, name="late",
+                                     start_time=0.5))
+        assert network.active_flow_ids() == []
+        network.run(1.0)
+        assert network.active_flow_ids() == [late.flow_id]
+
+    def test_raising_handler_keeps_undispatched_events(self, small_network):
+        network, _ = small_network
+        fired = []
+
+        def boom(now):
+            raise RuntimeError("boom")
+
+        network.schedule_call(0.1, boom)
+        network.schedule_call(0.1, lambda now: fired.append(now))
+        with pytest.raises(RuntimeError):
+            network.run(0.2)
+        # The old global heap kept the second callback queued; resuming
+        # after catching the error must still deliver it.
+        network.run(0.2)
+        assert fired
+
+    def test_clock_trimming_preserves_repeated_dt_chain(self):
+        from repro import quick_network
+
+        dt = 0.002
+        network, _ = quick_network(link_mbps=24, buffer_ms=100, dt=dt)
+        ticks = 3 * 4096 + 37
+        expected = 0.0
+        for _ in range(ticks):
+            network.step()
+            expected += dt
+        # Bit-identical to the historical `now += dt` accumulation...
+        assert network.now == expected
+        # ...with the consumed prefix trimmed instead of growing forever.
+        assert len(network._future_times) < 4200

@@ -95,6 +95,105 @@ class TestService:
             link.total_served + link.queue_bytes + total_dropped)
 
 
+def occupancy_invariants(link):
+    """The per-flow counters must agree with the queue they summarise."""
+    scanned = {}
+    for c in link.iter_queue():
+        scanned[c.flow_id] = scanned.get(c.flow_id, 0.0) + c.size
+    for flow_id, nbytes in scanned.items():
+        assert link.occupancy_of(flow_id) == pytest.approx(nbytes, abs=1e-6)
+    assert sum(link._flow_bytes.values()) == pytest.approx(
+        link.queue_bytes, abs=1e-6)
+    assert set(link._flow_bytes) == set(scanned)
+
+
+class TestOccupancyAccounting:
+    def test_counter_tracks_enqueue_partial_drop_split_dequeue(self):
+        link = make_link(capacity=1e6, buffer_bytes=8000)
+        # Plain enqueues for two flows.
+        link.enqueue(chunk(flow_id=0, size=3000), now=0.0)
+        link.enqueue(chunk(flow_id=1, size=2500), now=0.0)
+        occupancy_invariants(link)
+        # Partial drop: only the admitted remainder may be counted.
+        drops = link.enqueue(chunk(flow_id=0, size=4000), now=0.001)
+        assert drops and drops[0].lost_bytes == pytest.approx(1500)
+        assert link.occupancy_of(0) == pytest.approx(3000 + 2500)
+        occupancy_invariants(link)
+        # Partial service splits the head chunk of flow 0.
+        link.service(now=0.002, dt=0.001)
+        occupancy_invariants(link)
+        # Drain everything; counters must disappear with their chunks.
+        link.service(now=1.0, dt=1.0)
+        occupancy_invariants(link)
+        assert link.occupancy_of(0) == 0.0
+        assert link.occupancy_of(1) == 0.0
+        assert link._flow_bytes == {} and link._flow_chunks == {}
+
+    def test_counter_exact_zero_after_flow_leaves(self):
+        # Sizes chosen so incremental add/subtract would leave a float
+        # residue; removing the last chunk must reset the flow exactly.
+        link = make_link(capacity=1e6, buffer_bytes=1e9)
+        for i in range(50):
+            link.enqueue(chunk(flow_id=0, size=0.1 + i * 1e-3), now=0.0)
+        while link.occupancy_of(0) > 0.0:
+            link.service(now=1.0, dt=1.0)
+        assert link.occupancy_of(0) == 0.0
+        assert 0 not in link._flow_bytes
+
+    def test_invariant_through_randomised_traffic(self):
+        import random
+
+        rng = random.Random(7)
+        link = make_link(capacity=1e6, buffer_bytes=5000)
+        now = 0.0
+        for step in range(300):
+            now += 0.001
+            for flow_id in range(4):
+                if rng.random() < 0.7:
+                    link.enqueue(chunk(flow_id=flow_id,
+                                       size=rng.uniform(10, 2000),
+                                       seq=step), now=now)
+            link.service(now=now, dt=0.001)
+            occupancy_invariants(link)
+
+
+class TestServiceCreditEdges:
+    def test_head_within_tolerance_of_budget_fully_served(self):
+        # The head is 1e-10 bytes larger than the budget: within the 1e-9
+        # slack, so it must be dequeued whole instead of split.
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=1000 + 1e-10), now=0.0)
+        served = link.service(now=0.001, dt=0.001)
+        assert len(served) == 1
+        assert served[0].size == pytest.approx(1000, abs=1e-6)
+        assert not list(link.iter_queue())
+
+    def test_credit_resets_when_queue_idles(self):
+        link = make_link(capacity=1e6)
+        link.enqueue(chunk(size=300), now=0.0)
+        link.service(now=0.001, dt=0.001)  # 700 bytes of budget unused
+        assert link._service_credit == 0.0  # queue idle: nothing banked
+        # A busy queue does bank the unserved remainder of the budget.
+        link.enqueue(chunk(size=1500), now=0.001)
+        link.service(now=0.002, dt=0.001)
+        assert link._service_credit == 0.0  # split consumed the full budget
+        link.service(now=0.003, dt=0.001)
+        assert link._service_credit == 0.0
+        assert link.queue_bytes == pytest.approx(0.0, abs=1e-6)
+
+    def test_partial_admission_cuts_drop_before_mutating_chunk(self):
+        link = make_link(buffer_bytes=4000)
+        c = chunk(flow_id=2, size=5000)
+        drops = link.enqueue(c, now=0.0)
+        # The drop record reflects the original size; the chunk was then
+        # shrunk in place to the admitted bytes.
+        assert drops[0].lost_bytes == pytest.approx(1000)
+        assert c.size == pytest.approx(4000)
+        assert c.enqueue_time == 0.0
+        assert link.occupancy_of(2) == pytest.approx(4000)
+        occupancy_invariants(link)
+
+
 class TestQueries:
     def test_queue_delay_property(self):
         link = make_link(capacity=1e6)

@@ -115,3 +115,44 @@ class TestPairedRates:
             m.on_ack(send_t + 0.05, 1500, rtt=0.05, queue_delay=0.0)
         m.paired_rates(0.35, window=0.1)
         assert m.max_delivery_rate > 0
+
+
+class TestPickleStability:
+    """Slotted measurement state must serialise exactly like the legacy
+    ``__dict__`` layout: experiment payloads pickle whole flows, and their
+    bytes are compared across revisions."""
+
+    def test_windowed_counter_state_round_trip(self):
+        import pickle
+
+        counter = WindowedCounter(horizon=2.0)
+        counter.add(0.5, 100)
+        counter.add(1.0, 250)
+        state = counter.__getstate__()
+        assert list(state) == ["horizon", "_samples", "_total"]
+        clone = pickle.loads(pickle.dumps(counter, protocol=4))
+        assert clone.horizon == counter.horizon
+        assert list(clone._samples) == list(counter._samples)
+        assert clone.total == counter.total
+        assert pickle.dumps(clone, protocol=4) == \
+            pickle.dumps(counter, protocol=4)
+
+    def test_flow_measurement_state_round_trip(self):
+        import pickle
+
+        m = FlowMeasurement()
+        m.on_send(0.1, 1000)
+        m.on_ack(0.2, 1000, rtt=0.1, queue_delay=0.01)
+        m.on_loss(0.3, 200)
+        state = m.__getstate__()
+        assert list(state) == ["sent", "delivered", "lost", "rtt", "min_rtt",
+                               "queue_delay", "max_delivery_rate",
+                               "_last_now", "_acked", "_acked_horizon"]
+        clone = pickle.loads(pickle.dumps(m, protocol=4))
+        assert clone.rtt == m.rtt and clone.min_rtt == m.min_rtt
+        assert list(clone._acked) == list(m._acked)
+        assert pickle.dumps(clone, protocol=4) == pickle.dumps(m, protocol=4)
+
+    def test_no_instance_dict(self):
+        assert not hasattr(FlowMeasurement(), "__dict__")
+        assert not hasattr(WindowedCounter(), "__dict__")

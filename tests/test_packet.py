@@ -46,6 +46,42 @@ class TestChunkSplit:
         head = chunk.split(1234)
         assert head.size + chunk.size == pytest.approx(4321)
 
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_chunk().split(-1.0)
+
+    def test_split_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            make_chunk(size=3000).split(3000.0001)
+
+    def test_split_tiny_head(self):
+        chunk = make_chunk(size=1000, seq=0)
+        head = chunk.split(1e-6)
+        assert head.size == pytest.approx(1e-6)
+        assert chunk.seq == pytest.approx(1e-6)
+        assert chunk.size + head.size == pytest.approx(1000)
+
+    def test_repeated_splits_preserve_coverage(self):
+        chunk = make_chunk(size=1000, seq=0)
+        pieces = [chunk.split(100) for _ in range(9)] + [chunk]
+        assert [p.seq for p in pieces] == pytest.approx(
+            [100.0 * i for i in range(10)])
+        assert sum(p.size for p in pieces) == pytest.approx(1000)
+
+
+class TestSlotted:
+    """The hot-path data units must stay dict-free (allocation-lean)."""
+
+    def test_no_instance_dict(self):
+        assert not hasattr(make_chunk(), "__dict__")
+        ack = Ack(flow_id=0, acked_bytes=1.0, sent_time=0.0,
+                  queue_delay=0.0, delivered_time=0.0)
+        assert not hasattr(ack, "__dict__")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(AttributeError):
+            make_chunk().colour = "red"
+
 
 class TestFlowStats:
     def test_mean_rtt_empty(self):

@@ -1,0 +1,97 @@
+"""The engine perf-bench harness: report schema and regression gating."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_perf_engine():
+    spec = importlib.util.spec_from_file_location(
+        "perf_engine", _ROOT / "benchmarks" / "perf_engine.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_engine = _load_perf_engine()
+
+
+def _stats(seconds):
+    return {"seconds": seconds, "sim_seconds": 1.0, "dt": 0.002,
+            "ticks": 500, "ticks_per_sec": 500 / seconds, "flows": 1}
+
+
+def _write_baseline(path, seconds_by_name):
+    report = {"schema": perf_engine.SCHEMA, "bench": "engine",
+              "scenarios": {name: _stats(seconds)
+                            for name, seconds in seconds_by_name.items()}}
+    path.write_text(json.dumps(report))
+
+
+class TestCheckAgainstBaseline:
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        _write_baseline(baseline, {"cruise": 1.0})
+        code = perf_engine.check_against_baseline(
+            {"cruise": _stats(1.5)}, str(baseline), threshold=2.0)
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        _write_baseline(baseline, {"cruise": 1.0, "fig09_wan": 2.0})
+        code = perf_engine.check_against_baseline(
+            {"cruise": _stats(0.9), "fig09_wan": _stats(4.5)},
+            str(baseline), threshold=2.0)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "fig09_wan" in captured.err
+
+    def test_new_scenario_without_baseline_is_skipped(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        _write_baseline(baseline, {"cruise": 1.0})
+        code = perf_engine.check_against_baseline(
+            {"cruise": _stats(1.0), "novel": _stats(99.0)},
+            str(baseline), threshold=2.0)
+        assert code == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        code = perf_engine.check_against_baseline(
+            {"cruise": _stats(1.0)}, str(tmp_path / "nope.json"),
+            threshold=2.0)
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_write_report_schema(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        report = perf_engine.write_report({"cruise": _stats(1.0)}, str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == report
+        assert on_disk["schema"] == perf_engine.SCHEMA
+        assert on_disk["bench"] == "engine"
+        assert set(on_disk["scenarios"]) == {"cruise"}
+        stats = on_disk["scenarios"]["cruise"]
+        assert {"seconds", "sim_seconds", "dt", "ticks",
+                "ticks_per_sec", "flows"} <= set(stats)
+
+    def test_tracked_scenarios_exist(self):
+        assert {"cruise", "contention16", "fig09_wan"} <= \
+            set(perf_engine.SCENARIOS)
+
+    def test_run_scenarios_keeps_fastest_repeat(self, monkeypatch, capsys):
+        calls = iter([3.0, 1.0, 2.0])
+
+        def fake_scenario():
+            return _stats(next(calls))
+
+        monkeypatch.setitem(perf_engine.SCENARIOS, "fake", fake_scenario)
+        results = perf_engine.run_scenarios(["fake"], repeat=3)
+        assert results["fake"]["seconds"] == pytest.approx(1.0)

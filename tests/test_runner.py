@@ -105,3 +105,22 @@ def test_runs_a_small_experiment(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "fig23" in out
+
+
+def test_profile_flag_reports_timings_and_cache_counts(toy_index, capsys):
+    assert runner.main(["toy", "--set", "seed=11", "--duration", "0.5",
+                        "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "--- profile ---" in out
+    assert "0 cache hit(s), 1 miss(es), 1 executed" in out
+    # Second identical invocation is served entirely from the cache.
+    assert runner.main(["toy", "--set", "seed=11", "--duration", "0.5",
+                        "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "cached" in out
+    assert "1 cache hit(s), 0 miss(es), 0 executed" in out
+
+
+def test_no_profile_by_default(toy_index, capsys):
+    assert runner.main(["toy", "--set", "seed=12", "--duration", "0.5"]) == 0
+    assert "--- profile ---" not in capsys.readouterr().out

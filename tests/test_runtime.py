@@ -243,3 +243,39 @@ def test_runtime_does_not_import_experiments():
             "sys.exit(1 if bad else 0)")
     proc = subprocess.run([sys.executable, "-c", code], env=env)
     assert proc.returncode == 0
+
+
+# --------------------------------------------------------------------- #
+# Batch statistics (--profile backing data)
+# --------------------------------------------------------------------- #
+def test_batch_stats_cold_run_counts_misses(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    executor = BatchExecutor(workers=1, cache=cache)
+    spec = ScenarioSpec.make(_toy_driver.run, seed=42, duration=0.1)
+    executor.run(_batch(2) + [spec, spec])
+    stats = executor.last_stats
+    assert (stats.hits, stats.misses) == (0, 4)
+    assert stats.executed == 3  # the duplicated spec simulated once
+    assert len(stats.timings) == 4
+    assert all(seconds is not None and seconds >= 0.0
+               for _, seconds in stats.timings)
+    # Duplicates report the one shared execution's wall time.
+    assert stats.timings[2][1] == stats.timings[3][1]
+
+
+def test_batch_stats_warm_run_counts_hits(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    BatchExecutor(workers=1, cache=cache).run(_batch(2))
+    executor = BatchExecutor(workers=1, cache=cache)
+    executor.run(_batch(3))
+    stats = executor.last_stats
+    assert (stats.hits, stats.misses, stats.executed) == (2, 1, 1)
+    assert [seconds is None for _, seconds in stats.timings] == \
+        [True, True, False]
+    labels = [label for label, _ in stats.timings]
+    assert len(labels) == 3
+
+
+def test_batch_stats_before_any_run_is_none():
+    assert BatchExecutor(workers=1,
+                         cache=ResultCache(enabled=False)).last_stats is None
