@@ -8,7 +8,11 @@ Times three representative scenarios end to end (no caching, no pytest):
 * ``fig09_wan``     — a Nimbus flow against Poisson/heavy-tailed WAN cross
                       traffic at 50 % load (the Figure 9 regime, and the
                       historical hot spot: thousands of short flows churn
-                      through the engine).
+                      through the engine),
+* ``parking_lot3``  — a Nimbus flow over a three-hop parking lot against
+                      two single-hop Cubic cross flows (the multi-hop
+                      topology hot path: per-hop service plus hop-forwarding
+                      events).
 
 Results are written to ``BENCH_engine.json`` at the repo root — one schema,
 one file, appended to version control so every PR is held to the trajectory.
@@ -44,7 +48,11 @@ except ImportError:
 
 from repro.cc import Cubic  # noqa: E402
 from repro.core.nimbus import Nimbus  # noqa: E402
-from repro.runtime.build import make_network  # noqa: E402
+from repro.runtime.build import (  # noqa: E402
+    LinkSpec,
+    make_multihop_network,
+    make_network,
+)
 from repro.simulator import Flow, mbps_to_bytes_per_sec  # noqa: E402
 from repro.traffic import WanTrafficGenerator, WanWorkloadConfig  # noqa: E402
 
@@ -84,10 +92,26 @@ def _scenario_fig09_wan() -> Dict[str, float]:
     return _run_and_measure(network, duration=15.0)
 
 
+def _scenario_parking_lot3() -> Dict[str, float]:
+    """Three-hop parking lot: Nimbus end to end, two one-hop Cubic crosses."""
+    link_mbps = 48.0
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    network = make_multihop_network(
+        tuple(LinkSpec(f"hop{i + 1}", link_mbps, delay_ms=10.0,
+                       buffer_ms=100.0) for i in range(3)),
+        dt=0.002, seed=0, monitor="hop1")
+    network.add_flow(Flow(cc=Nimbus(mu=mu), prop_rtt=0.05, name="main"))
+    for index in ("hop1", "hop2"):
+        network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05,
+                              name=f"cross-{index}"), path=(index,))
+    return _run_and_measure(network, duration=15.0)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "cruise": _scenario_cruise,
     "contention16": _scenario_contention16,
     "fig09_wan": _scenario_fig09_wan,
+    "parking_lot3": _scenario_parking_lot3,
 }
 
 

@@ -30,6 +30,7 @@ from . import (
     fig25_multifactor,
     fig26_vivace_pulse,
     internet_paths,
+    parking_lot,
     table1_classification,
 )
 from .common import (
@@ -71,6 +72,7 @@ EXPERIMENT_INDEX = {
     "fig25": fig25_multifactor,
     "fig26": fig26_vivace_pulse,
     "appE": appE_buffer_aqm,
+    "parking_lot": parking_lot,
     "table1": table1_classification,
 }
 

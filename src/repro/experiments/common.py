@@ -15,7 +15,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..analysis.metrics import ThroughputDelaySummary, summarize_flow
-from ..runtime.build import make_network, make_scheme
+from ..runtime.build import (
+    LinkSpec,
+    make_multihop_network,
+    make_network,
+    make_scheme,
+    make_topology,
+)
 from ..simulator import Flow, Network, mbps_to_bytes_per_sec
 
 #: Name of the main (measured) flow in every experiment.
@@ -26,11 +32,14 @@ CROSS_FLOW = "cross"
 __all__ = [
     "CROSS_FLOW",
     "ExperimentResult",
+    "LinkSpec",
     "MAIN_FLOW",
     "SchemeResult",
     "add_main_flow",
+    "make_multihop_network",
     "make_network",
     "make_scheme",
+    "make_topology",
     "queue_delay_stats",
 ]
 

@@ -6,6 +6,14 @@ so each path is replaced by an emulation *profile* capturing the properties
 that drive the result: bottleneck rate, base RTT, buffer depth (deep
 buffers vs. shallow/policed paths with drops), and the prevailing cross
 traffic (mostly inelastic, occasionally with an elastic flow).
+
+Each profile is realised as a real **two-hop path**: a wide, low-loss WAN
+hop (the EC2-to-ISP leg, carrying roughly half of the path's propagation
+delay) feeding the access bottleneck (rate, buffer, and queue policy from
+the profile).  The main flow traverses both hops; last-mile cross traffic
+enters at the access link only, so the measured flow crosses a backbone
+that its competition never sees — the property that made single-queue
+emulation of these paths an approximation.
 """
 
 from __future__ import annotations
@@ -14,15 +22,21 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..cc import Cubic, NullCC
-from ..simulator import Flow, mbps_to_bytes_per_sec
+from ..simulator import Flow, TopologyNetwork, mbps_to_bytes_per_sec
 from ..traffic import PoissonSource, WanTrafficGenerator, WanWorkloadConfig
 from .common import (
     MAIN_FLOW,
     ExperimentResult,
+    LinkSpec,
     add_main_flow,
-    make_network,
+    make_multihop_network,
     queue_delay_stats,
 )
+
+#: Name of the access (bottleneck) hop in every emulated path.
+ACCESS_LINK = "access"
+#: Name of the backbone hop.
+WAN_LINK = "wan"
 
 
 @dataclass
@@ -41,6 +55,31 @@ class PathProfile:
     wan_mix: bool = False
     description: str = ""
     extra: dict = field(default_factory=dict)
+    #: Backbone-hop rate in Mbit/s; default 4x the access rate (never the
+    #: bottleneck, as on the paper's EC2-to-client paths).
+    wan_mbps: Optional[float] = None
+    #: One-way backbone propagation delay in ms; default half the path's
+    #: base RTT.  The remainder (``prop_rtt - wan_delay``) is the access
+    #: and return legs, so the end-to-end base RTT stays ``prop_rtt``.
+    wan_delay_ms: Optional[float] = None
+
+    def wan_rate_mbps(self) -> float:
+        return self.wan_mbps if self.wan_mbps is not None \
+            else 4.0 * self.link_mbps
+
+    def wan_delay(self) -> float:
+        delay = self.wan_delay_ms / 1e3 if self.wan_delay_ms is not None \
+            else self.prop_rtt / 2.0
+        if not 0.0 <= delay < self.prop_rtt:
+            raise ValueError(
+                f"wan_delay_ms must leave room for the access legs "
+                f"(path RTT {self.prop_rtt * 1e3:.0f} ms, got "
+                f"{delay * 1e3:.0f} ms)")
+        return delay
+
+    def access_rtt(self) -> float:
+        """Two-way propagation of the access + return legs (flow prop_rtt)."""
+        return self.prop_rtt - self.wan_delay()
 
 
 #: A catalogue loosely modelled on the paper's path observations: most paths
@@ -62,27 +101,44 @@ DEFAULT_PROFILES: List[PathProfile] = [
 DEFAULT_SCHEMES = ("nimbus", "cubic", "bbr", "vegas")
 
 
+def build_path_network(profile: PathProfile, dt: float = 0.002,
+                       seed: int = 0) -> TopologyNetwork:
+    """The two-hop (backbone -> access bottleneck) network of one profile."""
+    links = (
+        LinkSpec(WAN_LINK, profile.wan_rate_mbps(),
+                 delay_ms=profile.wan_delay() * 1e3, buffer_ms=200.0),
+        LinkSpec(ACCESS_LINK, profile.link_mbps,
+                 buffer_ms=profile.buffer_ms),
+    )
+    return make_multihop_network(links, dt=dt, seed=seed,
+                                 monitor=ACCESS_LINK)
+
+
 def run_path(profile: PathProfile, scheme: str, duration: float = 40.0,
              dt: float = 0.002, seed: int = 0):
-    """Run one scheme over one path profile; returns the network."""
-    network = make_network(profile.link_mbps, buffer_ms=profile.buffer_ms,
-                           dt=dt, seed=seed)
+    """Run one scheme over one path profile; returns the network.
+
+    The main flow traverses backbone + access; cross traffic is last-mile
+    (access hop only), except the WAN mix, which models transit flows
+    sharing the whole path.
+    """
+    network = build_path_network(profile, dt=dt, seed=seed)
     mu = mbps_to_bytes_per_sec(profile.link_mbps)
-    add_main_flow(network, scheme, profile.link_mbps,
-                  prop_rtt=profile.prop_rtt)
+    access_rtt = profile.access_rtt()
+    add_main_flow(network, scheme, profile.link_mbps, prop_rtt=access_rtt)
     if profile.wan_mix:
         generator = WanTrafficGenerator(network, WanWorkloadConfig(
             link_rate=mu, load=profile.inelastic_load,
-            prop_rtt=profile.prop_rtt, seed=seed + 3))
+            prop_rtt=access_rtt, seed=seed + 3))
         generator.start()
     elif profile.inelastic_load > 0:
         network.add_flow(Flow(
             cc=NullCC(), prop_rtt=profile.prop_rtt,
             source=PoissonSource(profile.inelastic_load * mu, seed=seed + 3),
-            name="cross"))
+            name="cross"), path=(ACCESS_LINK,))
     if profile.elastic_cross:
         network.add_flow(Flow(cc=Cubic(), prop_rtt=profile.prop_rtt,
-                              name="cross-elastic"))
+                              name="cross-elastic"), path=(ACCESS_LINK,))
     network.run(duration)
     return network
 

@@ -78,6 +78,22 @@ def _parse_sweep_overrides(
     return fixed, axes
 
 
+def _sweep_row_label(spec: ScenarioSpec, axes: Dict[str, List[float]]) -> str:
+    """The full parameter tuple of one sweep row.
+
+    The grid label only names the swept axes, which is ambiguous once
+    several axes (and fixed ``--set`` overrides) are in play: two rows can
+    print identically while differing in a fixed parameter, and the axis
+    order is whatever the label generator chose.  Here every parameter of
+    the spec is shown — swept axes first, in the order they were declared
+    on the command line, then the fixed parameters, sorted by name.
+    """
+    params = spec.kwargs()
+    names = [name for name in axes if name in params]
+    names += sorted(name for name in params if name not in axes)
+    return ", ".join(f"{name}={params[name]}" for name in names)
+
+
 def _describe(result: ExperimentResult) -> str:
     """Render an experiment result for the terminal."""
     lines = [result.table(), ""]
@@ -161,6 +177,7 @@ def main(argv: List[str] | None = None) -> int:
     # Some drivers do not take a duration (they use phase_duration etc.);
     # decide up front instead of re-running a whole batch on TypeError.
     takes_duration = _accepts_kwarg(module.run, "duration")
+    axes: Dict[str, List[float]] = {}
     try:
         if sweep_mode:
             base, axes = _parse_sweep_overrides(args.overrides)
@@ -192,7 +209,7 @@ def main(argv: List[str] | None = None) -> int:
     wall = time.perf_counter() - begin
     for spec, result in zip(specs, results):
         if sweep_mode:
-            print(f"--- {experiment_id} [{spec.label}] ---")
+            print(f"--- {experiment_id} [{_sweep_row_label(spec, axes)}] ---")
         print(_describe(result))
     if args.profile:
         _print_profile(executor.last_stats, wall)

@@ -21,7 +21,13 @@ Layering rule: ``repro.runtime`` never imports ``repro.experiments`` —
 drivers import the runtime, not the reverse.
 """
 
-from .build import make_network, make_scheme
+from .build import (
+    LinkSpec,
+    make_multihop_network,
+    make_network,
+    make_scheme,
+    make_topology,
+)
 from .cache import ResultCache, cache_enabled, default_cache_dir, source_digest
 from .executor import (
     BatchExecutor,
@@ -36,14 +42,17 @@ from .spec import ScenarioSpec
 __all__ = [
     "BatchExecutor",
     "BatchStats",
+    "LinkSpec",
     "ResultCache",
     "ScenarioSpec",
     "cache_enabled",
     "configured_workers",
     "default_cache_dir",
     "execute_spec",
+    "make_multihop_network",
     "make_network",
     "make_scheme",
+    "make_topology",
     "run_batch",
     "run_scenario",
     "source_digest",

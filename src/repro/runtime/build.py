@@ -9,7 +9,8 @@ driver code is unaffected.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
 
 from ..cc import (
     BasicDelay,
@@ -28,8 +29,83 @@ from ..simulator import (
     DropTail,
     Network,
     Pie,
+    Topology,
+    TopologyNetwork,
     mbps_to_bytes_per_sec,
 )
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Declarative description of one hop of a topology.
+
+    A plain frozen dataclass with init-only scalar fields, so it
+    canonicalises into a :class:`~repro.runtime.spec.ScenarioSpec` — multi-
+    hop scenario parameters hash, cache, and batch exactly like single-link
+    ones.
+
+    Attributes:
+        name: Link label, unique within the topology.
+        mbps: Link rate in Mbit/s.
+        delay_ms: Propagation delay from this link to the next hop (ignored
+            for the last hop of a path, where the flow's own ``prop_rtt``
+            supplies the receiver and ACK legs).
+        buffer_ms: Queue depth in milliseconds at this link's rate.
+        aqm_target_ms: Switch the hop's queue policy from drop-tail to PIE
+            with this target delay.
+    """
+
+    name: str
+    mbps: float
+    delay_ms: float = 0.0
+    buffer_ms: float = 100.0
+    aqm_target_ms: Optional[float] = None
+
+
+def _policy_for(mu: float, buffer_ms: float,
+                aqm_target_ms: Optional[float], seed: int):
+    buffer_bytes = mu * buffer_ms / 1e3
+    if aqm_target_ms is not None:
+        return Pie(target_delay=aqm_target_ms / 1e3,
+                   buffer_bytes=buffer_bytes, seed=seed)
+    return DropTail(buffer_bytes)
+
+
+def make_topology(links: Sequence[LinkSpec],
+                  monitor: Optional[str] = None, seed: int = 0) -> Topology:
+    """Wire :class:`LinkSpec` descriptions into a :class:`Topology`.
+
+    The monitor link (what ``network.link`` and the recorder observe)
+    defaults to the narrowest hop — the natural bottleneck — with ties
+    going to the earliest link.
+    """
+    if not links:
+        raise ValueError("make_topology needs at least one LinkSpec")
+    topology = Topology(name="+".join(spec.name for spec in links))
+    for position, spec in enumerate(links):
+        mu = mbps_to_bytes_per_sec(spec.mbps)
+        # Each hop's policy gets its own RNG stream: identical seeds would
+        # perfectly correlate the random drop decisions of stacked AQMs.
+        topology.add_link(spec.name, mu, delay=spec.delay_ms / 1e3,
+                          policy=_policy_for(mu, spec.buffer_ms,
+                                             spec.aqm_target_ms,
+                                             seed + position))
+    if monitor is None:
+        monitor = min(links, key=lambda spec: spec.mbps).name
+    topology.set_monitor(monitor)
+    return topology
+
+
+def make_multihop_network(links: Sequence[LinkSpec], dt: float = 0.002,
+                          seed: int = 0,
+                          monitor: Optional[str] = None) -> TopologyNetwork:
+    """A :class:`TopologyNetwork` over the described chain of hops.
+
+    The multi-hop sibling of :func:`make_network`: same defaults, same
+    seeding, but flows may traverse any path over the named links.
+    """
+    return TopologyNetwork(make_topology(links, monitor=monitor, seed=seed),
+                           dt=dt, seed=seed)
 
 
 def make_network(link_mbps: float, buffer_ms: float = 100.0,
@@ -41,12 +117,7 @@ def make_network(link_mbps: float, buffer_ms: float = 100.0,
     the given target delay (Appendix E.2).
     """
     mu = mbps_to_bytes_per_sec(link_mbps)
-    buffer_bytes = mu * buffer_ms / 1e3
-    if aqm_target_ms is not None:
-        policy = Pie(target_delay=aqm_target_ms / 1e3,
-                     buffer_bytes=buffer_bytes, seed=seed)
-    else:
-        policy = DropTail(buffer_bytes)
+    policy = _policy_for(mu, buffer_ms, aqm_target_ms, seed)
     link = BottleneckLink(capacity=mu, policy=policy)
     return Network(link, dt=dt, seed=seed)
 

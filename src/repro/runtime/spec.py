@@ -7,6 +7,11 @@ processes) and its keyword arguments in a canonical, order-independent
 form.  Two specs built from the same function and equivalent parameters —
 regardless of dict ordering or list-vs-tuple spelling — compare equal and
 hash identically, which is what makes the on-disk result cache sound.
+
+Structured parameters are supported through init-only dataclasses: a tuple
+of :class:`~repro.runtime.build.LinkSpec` hops, for example, canonicalises
+field by field, so multi-hop topology scenarios cache and batch exactly
+like scalar-parameter ones.
 """
 
 from __future__ import annotations

@@ -1,8 +1,9 @@
 """Fluid-chunk network simulator: the reproduction's Mahimahi substitute.
 
-Exports the pieces needed to assemble an experiment: a bottleneck link with
-a queue policy, transport flows, application sources, and the tick-driven
-network engine.
+Exports the pieces needed to assemble an experiment: bottleneck links with
+queue policies, multi-hop topologies and paths, transport flows, application
+sources, and the tick-driven network engine (single-link :class:`Network` or
+general :class:`TopologyNetwork`).
 """
 
 from .aqm import DropTail, Pie, QueuePolicy
@@ -12,6 +13,7 @@ from .link import BottleneckLink
 from .measurement import FlowMeasurement, WindowedCounter
 from .packet import Ack, Chunk, FlowStats, LossEvent
 from .source import BackloggedSource, FiniteSource, PacedSource, Source
+from .topology import Path, Topology, TopologyNetwork
 from .trace import Recorder
 from .units import (
     BITS_PER_BYTE,
@@ -38,10 +40,13 @@ __all__ = [
     "MSS_BYTES",
     "Network",
     "PacedSource",
+    "Path",
     "Pie",
     "QueuePolicy",
     "Recorder",
     "Source",
+    "Topology",
+    "TopologyNetwork",
     "WindowedCounter",
     "bdp_bytes",
     "bytes_per_sec_to_mbps",

@@ -34,7 +34,12 @@ class Flow:
 
     Args:
         cc: Congestion-control algorithm governing the flow.
-        prop_rtt: Two-way propagation delay in seconds (no queueing).
+        prop_rtt: Two-way propagation delay in seconds (no queueing) of the
+            flow's access legs: last hop to receiver plus the ACK return
+            path.  On a multi-hop path the flow's end-to-end base RTT is
+            this plus the intermediate links' propagation delays (see
+            :mod:`repro.simulator.topology`); on the classic single-link
+            network the two are the same number.
         source: Application source; defaults to a backlogged bulk transfer.
         start_time: Simulation time at which the flow starts sending.
         name: Optional label for traces; defaults to the algorithm name.
@@ -72,11 +77,12 @@ class Flow:
         cc.register(self)
 
     # ------------------------------------------------------------------ #
-    # Path delays: sender -> bottleneck -> receiver -> sender
+    # Access delays: last hop -> receiver -> sender.  Intermediate hops of
+    # a multi-link path add their own per-link delays in the engine.
     # ------------------------------------------------------------------ #
     @property
     def delay_to_receiver(self) -> float:
-        """One-way delay from the bottleneck output to the receiver."""
+        """One-way delay from the last link's output to the receiver."""
         return self.prop_rtt / 2.0
 
     @property

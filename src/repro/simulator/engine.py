@@ -1,7 +1,17 @@
-"""The network engine: a tick-driven event loop over a shared bottleneck.
+"""The single-bottleneck network: a thin specialization of the topology engine.
 
-This is the reproduction's substitute for the Mahimahi link emulator plus
-the Linux network stack.  Time advances in fixed ticks (1–2 ms).  Each tick:
+Historically this module *was* the engine: a tick-driven event loop over one
+shared :class:`~repro.simulator.link.BottleneckLink`.  The loop — calendar
+event queue, active-flow roster, emission/service scheduling — now lives in
+:class:`~repro.simulator.topology.TopologyNetwork`, which routes chunks over
+arbitrary paths of store-and-forward hops.  :class:`Network` wraps a single
+link into a one-hop topology, which the engine treats specially by
+construction: no hop-forwarding event ever fires, every chunk goes straight
+from the bottleneck to its receiver, and the event sequence (and therefore
+every downstream number) is bit-identical to the historical single-link
+implementation.
+
+Each tick:
 
 1. events whose time has arrived are delivered (chunk arrivals at the
    receiver, ACKs back at senders, loss notifications, scheduled callbacks),
@@ -15,45 +25,15 @@ the Linux network stack.  Time advances in fixed ticks (1–2 ms).  Each tick:
 
 Loss feedback is delivered to the sender one downstream-plus-ACK delay after
 the drop, which is when a real sender would observe duplicate ACKs.
-
-Event storage is a *calendar queue*: because every event dispatches on a
-tick boundary anyway, events are filed under the integer tick at which they
-fire instead of being kept in one global heap.  Pushing is O(1), a tick's
-dispatch sorts just that tick's handful of events, and the tick an event
-fires on is computed against the engine's own future clock readings — the
-exact floats ``now += dt`` will produce — so dispatch grouping is
-bit-identical to the historical heap implementation, including the
-``1e-12`` boundary tolerance.  Workloads with thousands of short cross
-flows additionally benefit from the engine keeping an explicit roster of
-*active* flows: finished flows cost nothing per tick instead of being
-re-scanned forever.
 """
 
 from __future__ import annotations
 
-import random
-from array import array
-from bisect import bisect_left, insort
-from heapq import heappop, heappush
-from typing import Callable, Iterable, List, Optional
-
-from .endpoint import Flow
 from .link import BottleneckLink
-from .packet import Ack, Chunk
-from .trace import Recorder
-
-#: Slack applied to every "has this event's time arrived?" comparison, kept
-#: identical to the historical heap-based engine so dispatch grouping (and
-#: therefore every downstream number) is unchanged.
-_EPS = 1e-12
-
-#: Events further ahead than this many ticks bypass the calendar and wait in
-#: a small spill-over heap, so one far-future ``schedule_call`` cannot force
-#: the future-clock array to materialise millions of entries up front.
-_SPILL_TICKS = 1 << 20
+from .topology import Topology, TopologyNetwork
 
 
-class Network:
+class Network(TopologyNetwork):
     """A single-bottleneck network shared by an arbitrary set of flows.
 
     Args:
@@ -63,272 +43,9 @@ class Network:
             traffic generators for reproducibility).
     """
 
-    #: Event kinds handled by the engine loop.
-    _DELIVER = 0
-    _ACK = 1
-    _LOSS = 2
-    _CALL = 3
-    _START = 4
-
     def __init__(self, link: BottleneckLink, dt: float = 0.001,
                  seed: int = 0) -> None:
-        if dt <= 0:
-            raise ValueError("dt must be positive")
-        self.link = link
-        self.dt = dt
-        self.now = 0.0
-        self.rng = random.Random(seed)
-        self.flows: List[Flow] = []
-        self.recorder = Recorder(self)
-        #: Calendar: tick index -> [(time, counter, kind, payload), ...].
-        self._calendar: dict = {}
-        #: Clock readings the engine will produce: entry ``k - _times_base``
-        #: is exactly the value ``self.now`` takes at tick ``k`` (generated
-        #: by the same repeated ``+ dt``), so bucket placement can reproduce
-        #: the heap engine's boundary behaviour bit for bit.  The consumed
-        #: prefix is trimmed periodically, keeping memory proportional to
-        #: the scheduling lookahead rather than the total ticks simulated.
-        self._future_times = array("d", (0.0,))
-        self._times_base = 0
-        self._tick = 0
-        self._counter = 0
-        #: Heap of events beyond the calendar horizon; migrated into the
-        #: calendar long before they are due.
-        self._spill: list = []
-        self._spill_span = _SPILL_TICKS * dt
-        self._migrate_span = (_SPILL_TICKS // 2) * dt
-        #: Min-heap holding the tick currently being dispatched; events
-        #: pushed *during* dispatch that are already due join it so they run
-        #: this tick, exactly as they would have popped from a global heap.
-        self._live: list = []
-        self._dispatching = False
-        #: Sorted flow ids (== positions in ``flows``) of started,
-        #: unfinished flows.  Per-tick work scales with this roster, not
-        #: with every flow ever created.
-        self._active: List[int] = []
-        self._next_flow_id = 0
-
-    # ------------------------------------------------------------------ #
-    # Construction
-    # ------------------------------------------------------------------ #
-    def add_flow(self, flow: Flow, start: Optional[float] = None) -> Flow:
-        """Register a flow; it starts at ``start`` (default ``flow.start_time``)."""
-        flow.flow_id = self._next_flow_id
-        self._next_flow_id += 1
-        self.flows.append(flow)
-        start_time = flow.start_time if start is None else start
-        flow.start_time = start_time
-        if start_time <= self.now:
-            flow.start(self.now)
-            if flow.active:
-                insort(self._active, flow.flow_id)
-        else:
-            self._push(start_time, self._START, flow)
-        return flow
-
-    def schedule_call(self, time: float, fn: Callable[[float], None]) -> None:
-        """Run ``fn(now)`` at the given simulation time (>= now)."""
-        self._push(max(time, self.now), self._CALL, fn)
-
-    # ------------------------------------------------------------------ #
-    # Main loop
-    # ------------------------------------------------------------------ #
-    def run(self, until: float) -> None:
-        """Advance the simulation until the given absolute time."""
-        while self.now < until - _EPS:
-            self.step()
-
-    def run_for(self, duration: float) -> None:
-        """Advance the simulation by ``duration`` seconds."""
-        self.run(self.now + duration)
-
-    def step(self) -> None:
-        """Advance the simulation by one tick."""
-        self._tick += 1
-        times = self._future_times
-        index = self._tick - self._times_base
-        if len(times) <= index:
-            times.append(times[-1] + self.dt)
-        if index >= 4096:
-            # Nothing ever reads clock entries behind the current tick:
-            # drop the consumed prefix (values ahead are untouched, so the
-            # repeated-``+ dt`` chain — and every number — is unchanged).
-            del times[:index]
-            self._times_base = self._tick
-            index = 0
-        self.now = now = times[index]
-        spill = self._spill
-        if spill and spill[0][0] <= now + self._migrate_span:
-            calendar = self._calendar
-            while spill and spill[0][0] <= now + self._migrate_span:
-                entry = heappop(spill)
-                calendar.setdefault(self._bucket_of(entry[0]),
-                                    []).append(entry)
-        self._dispatch_events(now)
-        self._emit_all(now)
-        self._serve_link(now)
-        self.recorder.on_tick(now)
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _push(self, time: float, kind: int, payload) -> None:
-        self._counter += 1
-        entry = (time, self._counter, kind, payload)
-        if self._dispatching and time <= self.now + _EPS:
-            # Due while this very tick is dispatching: join the live heap.
-            heappush(self._live, entry)
-            return
-        if time - self.now > self._spill_span:
-            heappush(self._spill, entry)
-            return
-        bucket = self._bucket_of(time)
-        events = self._calendar.get(bucket)
-        if events is None:
-            self._calendar[bucket] = [entry]
-        else:
-            events.append(entry)
-
-    def _bucket_of(self, time: float) -> int:
-        """First future tick whose clock reading satisfies ``time <= now + eps``.
-
-        Evaluated against :attr:`_future_times`, i.e. against the exact
-        floats the main loop will assign to ``self.now``, so the answer
-        matches what a global heap would have done at every boundary.
-        """
-        times = self._future_times
-        dt = self.dt
-        base = self._times_base
-        floor = self._tick + 1
-        k = self._tick + int((time - self.now) / dt)
-        if k < floor:
-            k = floor
-        while len(times) <= k - base:
-            times.append(times[-1] + dt)
-        while times[k - base] < time - _EPS:
-            k += 1
-            if len(times) <= k - base:
-                times.append(times[-1] + dt)
-        while k > floor and times[k - 1 - base] >= time - _EPS:
-            k -= 1
-        return k
-
-    def _dispatch_events(self, now: float) -> None:
-        bucket = self._calendar.pop(self._tick, None)
-        if bucket is None:
-            return
-        # Entries sort by (time, counter): the order a global heap would
-        # pop them in.  A sorted list is a valid min-heap, so same-tick
-        # pushes made by handlers can be merged in without re-sorting.
-        bucket.sort()
-        live = self._live = bucket
-        self._dispatching = True
-        try:
-            flows = self.flows
-            due = now + _EPS
-            while live and live[0][0] <= due:
-                _, _, kind, payload = heappop(live)
-                if kind == self._DELIVER:
-                    self._deliver(payload, now)
-                elif kind == self._ACK:
-                    flow = flows[payload.flow_id]
-                    if not flow.finished:
-                        flow.handle_ack(payload, now)
-                        if flow.finished:
-                            self._deactivate(flow.flow_id)
-                elif kind == self._LOSS:
-                    flow = flows[payload.flow_id]
-                    if not flow.finished:
-                        flow.handle_loss(payload.lost_bytes, now)
-                elif kind == self._CALL:
-                    payload(now)
-                elif kind == self._START:
-                    payload.start(now)
-                    if payload.active:
-                        insort(self._active, payload.flow_id)
-        finally:
-            self._dispatching = False
-            if live:
-                # A handler raised mid-tick.  The old global heap kept the
-                # undispatched remainder queued; refile it for the next
-                # tick so a caller that catches the error and resumes does
-                # not silently lose in-flight deliveries and ACKs.
-                self._calendar.setdefault(self._tick + 1, []).extend(live)
-            self._live = []
-
-    def _deactivate(self, flow_id: int) -> None:
-        index = bisect_left(self._active, flow_id)
-        if index < len(self._active) and self._active[index] == flow_id:
-            del self._active[index]
-
-    def _deliver(self, chunk: Chunk, now: float) -> None:
-        """Chunk reaches the receiver; generate the acknowledgement."""
-        flow = self.flows[chunk.flow_id]
-        ack = Ack(flow_id=chunk.flow_id, acked_bytes=chunk.size,
-                  sent_time=chunk.sent_time, queue_delay=chunk.queue_delay,
-                  delivered_time=now)
-        self.recorder.on_delivery(flow, chunk, now)
-        self._push(now + flow.delay_ack, self._ACK, ack)
-
-    def _emit_all(self, now: float) -> None:
-        # Rotate the service order every tick so that when the buffer is
-        # nearly full the tail-drop losses are shared across flows, as they
-        # would be with interleaved packets, instead of always falling on
-        # the flows that happen to be listed last.  The rotation point is
-        # still computed over every flow ever added, so the visit order of
-        # the surviving active flows matches the historical full scan.
-        active = self._active
-        if not active:
-            return
-        start = int(round(now / self.dt)) % len(self.flows)
-        pivot = bisect_left(active, start)
-        stale = None
-        for flow_id in active[pivot:] + active[:pivot]:
-            flow = self.flows[flow_id]
-            if not flow.active:
-                # Stopped from a callback; drop it from the roster lazily.
-                if stale is None:
-                    stale = [flow_id]
-                else:
-                    stale.append(flow_id)
-                continue
-            chunk = flow.emit(now, self.dt)
-            if chunk is None:
-                continue
-            drops = self.link.enqueue(chunk, now)
-            if drops:
-                feedback_delay = flow.delay_to_receiver + flow.delay_ack
-                for drop in drops:
-                    self._push(now + feedback_delay, self._LOSS, drop)
-        if stale is not None:
-            for flow_id in stale:
-                self._deactivate(flow_id)
-
-    def _serve_link(self, now: float) -> None:
-        flows = self.flows
-        for chunk in self.link.service(now, self.dt):
-            self._push(now + flows[chunk.flow_id].delay_to_receiver,
-                       self._DELIVER, chunk)
-
-    # ------------------------------------------------------------------ #
-    # Queries used by experiments
-    # ------------------------------------------------------------------ #
-    def active_flows(self) -> Iterable[Flow]:
-        """Flows that have started and not yet completed."""
-        flows = self.flows
-        return (flows[i] for i in self._active if flows[i].active)
-
-    def active_flow_ids(self) -> List[int]:
-        """Sorted ids of started, unfinished flows (a fresh list).
-
-        The roster can momentarily include a flow whose callback stopped it
-        mid-tick; callers should still check ``flow.active``.
-        """
-        return list(self._active)
-
-    def flows_named(self, name: str) -> List[Flow]:
-        """All flows whose label equals ``name``."""
-        return [f for f in self.flows if f.name == name]
+        super().__init__(Topology.single(link), dt=dt, seed=seed)
 
     def __repr__(self) -> str:
         return (f"Network(link={self.link!r}, dt={self.dt}, "

@@ -59,6 +59,10 @@ class BottleneckLink:
         self._flow_chunks: dict[int, int] = {}
         self.total_drops: float = 0.0
         self.total_served: float = 0.0
+        #: Bytes ever presented to :meth:`enqueue` (admitted or not).  With
+        #: the other counters this yields the per-hop conservation law
+        #: ``total_offered == total_served + queue_bytes + total_drops``.
+        self.total_offered: float = 0.0
         #: Unused service capacity carried over between ticks (bytes).  The
         #: link is work-conserving: it never accumulates credit while idle.
         self._service_credit = 0.0
@@ -89,6 +93,7 @@ class BottleneckLink:
         Returns a list of drop records for any bytes that were not admitted.
         """
         drops: list[DropRecord] = []
+        self.total_offered += chunk.size
         admitted = self.policy.admit(chunk.size, self.queue_bytes,
                                      self.queue_delay, now)
         admitted = max(0.0, min(chunk.size, admitted))

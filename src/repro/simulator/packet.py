@@ -27,9 +27,13 @@ class Chunk:
         size: Number of bytes in the chunk (may shrink if partially dropped).
         seq: Byte offset of the first byte of the chunk within the flow.
         sent_time: Simulation time at which the sender emitted the chunk.
-        enqueue_time: Time the chunk entered the bottleneck queue (set by the
-            link), used to compute its queueing delay.
-        queue_delay: Total queueing delay experienced so far, in seconds.
+        enqueue_time: Time the chunk entered its current queue (set by the
+            link on every enqueue), used to compute its queueing delay.
+        queue_delay: Total queueing delay experienced so far, in seconds —
+            accumulated across every hop of a multi-link path.
+        hop: Position within the flow's path of the link the chunk currently
+            occupies (0 on emission; advanced by the engine as the chunk is
+            forwarded hop by hop).
     """
 
     flow_id: int
@@ -38,6 +42,7 @@ class Chunk:
     sent_time: float
     enqueue_time: float = 0.0
     queue_delay: float = 0.0
+    hop: int = 0
 
     def split(self, first_bytes: float) -> "Chunk":
         """Split off the first ``first_bytes`` bytes into a new chunk.
@@ -56,6 +61,7 @@ class Chunk:
             sent_time=self.sent_time,
             enqueue_time=self.enqueue_time,
             queue_delay=self.queue_delay,
+            hop=self.hop,
         )
         self.seq += first_bytes
         self.size -= first_bytes

@@ -1,0 +1,589 @@
+"""Multi-hop topology engine: paths of store-and-forward links.
+
+This module generalises the reproduction's single-bottleneck engine into a
+small network-of-queues simulator.  A :class:`Topology` is an ordered set of
+named :class:`~repro.simulator.link.BottleneckLink`\\ s, each with its own
+queue policy and a *downstream propagation delay* — the time a chunk spends
+on the wire between leaving that link and reaching the next hop.  A
+:class:`Path` names the ordered subset of links a flow traverses; the
+:class:`TopologyNetwork` engine routes every served chunk hop by hop through
+its flow's path using the same calendar event queue that drives the
+single-link engine.
+
+Timing model (a strict superset of the single-link engine's):
+
+* senders are adjacent to the first link of their path — an emitted chunk
+  enters that queue in the same tick,
+* a chunk served by an *intermediate* link is scheduled to arrive at the
+  next hop's queue after that link's propagation delay (a ``_HOP`` event),
+* a chunk served by the *last* link of its path reaches the receiver after
+  the flow's ``delay_to_receiver`` and is acknowledged after the flow's
+  ``delay_ack`` (exactly the legacy behaviour), so a flow's base RTT is
+  ``sum(intermediate link delays) + flow.prop_rtt``,
+* bytes dropped at any hop are reported to the sender one remaining-path
+  -plus-ACK delay after the drop, which is when duplicate ACKs would reveal
+  the hole.
+
+With a single-link topology no ``_HOP`` event ever fires and the engine
+pushes exactly the same events, in the same order, with the same counter
+values, as the historical ``Network`` — the single-bottleneck numbers are
+bit-identical (see ``tests/test_topology.py``).
+
+Event storage is a *calendar queue*: because every event dispatches on a
+tick boundary anyway, events are filed under the integer tick at which they
+fire instead of being kept in one global heap.  Pushing is O(1), a tick's
+dispatch sorts just that tick's handful of events, and the tick an event
+fires on is computed against the engine's own future clock readings — the
+exact floats ``now += dt`` will produce — so dispatch grouping is
+bit-identical to the historical heap implementation, including the
+``1e-12`` boundary tolerance.  Workloads with thousands of short cross
+flows additionally benefit from the engine keeping an explicit roster of
+*active* flows: finished flows cost nothing per tick instead of being
+re-scanned forever.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .aqm import QueuePolicy
+from .endpoint import Flow
+from .link import BottleneckLink
+from .packet import Ack, Chunk
+from .trace import Recorder
+
+#: Slack applied to every "has this event's time arrived?" comparison, kept
+#: identical to the historical heap-based engine so dispatch grouping (and
+#: therefore every downstream number) is unchanged.
+_EPS = 1e-12
+
+#: Events further ahead than this many ticks bypass the calendar and wait in
+#: a small spill-over heap, so one far-future ``schedule_call`` cannot force
+#: the future-clock array to materialise millions of entries up front.
+_SPILL_TICKS = 1 << 20
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered route through a topology, as a tuple of link names.
+
+    Paths are frozen and hashable so they can ride inside canonicalised
+    scenario parameters.  Resolution against a concrete topology (names to
+    link indices, validation) happens in :meth:`Topology.resolve_path`.
+    """
+
+    links: Tuple[str, ...]
+
+    def __init__(self, links: Iterable[str]) -> None:
+        object.__setattr__(self, "links", tuple(links))
+        if not self.links:
+            raise ValueError("a Path needs at least one link")
+        if any(not isinstance(name, str) for name in self.links):
+            raise TypeError("Path links are link names (strings)")
+
+    @classmethod
+    def of(cls, *links: str) -> "Path":
+        return cls(links)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.links)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+#: Anything accepted where a path is expected: ``None`` (the topology's
+#: full chain), a single link name, a :class:`Path`, or a sequence of link
+#: names / link indices.
+PathLike = Union[None, str, Path, Sequence[Union[str, int]]]
+
+
+class Topology:
+    """Named links wired into a linear chain, each with its own queue
+    policy and downstream propagation delay.
+
+    The *default path* is the full chain in insertion order; flows may
+    instead follow any ordered subset (e.g. a parking-lot cross flow that
+    enters and leaves at one hop).  One link is the *monitor* link — the
+    queue the :class:`~repro.simulator.trace.Recorder` tracks and the one
+    exposed as ``network.link`` for single-bottleneck compatibility; it
+    defaults to the first link attached.
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        #: Links in insertion order; positions double as link ids.
+        self.links: List[BottleneckLink] = []
+        #: links[i]'s propagation delay to the next hop, in seconds.
+        self.delays: List[float] = []
+        self._index: Dict[str, int] = {}
+        self._monitor = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def attach(self, link: BottleneckLink, delay: float = 0.0,
+               monitor: bool = False) -> BottleneckLink:
+        """Wire an existing link into the chain (appended at the tail)."""
+        if delay < 0:
+            raise ValueError("propagation delay must be >= 0")
+        if link.name in self._index:
+            raise ValueError(f"duplicate link name {link.name!r}")
+        self._index[link.name] = len(self.links)
+        self.links.append(link)
+        self.delays.append(delay)
+        if monitor:
+            self._monitor = len(self.links) - 1
+        return link
+
+    def add_link(self, name: str, capacity: float, delay: float = 0.0,
+                 policy: Optional[QueuePolicy] = None,
+                 monitor: bool = False) -> BottleneckLink:
+        """Create and attach a link: per-hop capacity, delay, queue policy."""
+        return self.attach(BottleneckLink(capacity, policy=policy, name=name),
+                           delay=delay, monitor=monitor)
+
+    @classmethod
+    def single(cls, link: BottleneckLink) -> "Topology":
+        """The degenerate one-link topology the legacy ``Network`` wraps."""
+        topology = cls(name=f"single[{link.name}]")
+        topology.attach(link, delay=0.0, monitor=True)
+        return topology
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no link named {name!r}; "
+                           f"known: {sorted(self._index)}") from None
+
+    def link(self, name: str) -> BottleneckLink:
+        return self.links[self.index_of(name)]
+
+    def delay_of(self, name: str) -> float:
+        return self.delays[self.index_of(name)]
+
+    def set_monitor(self, name: str) -> None:
+        self._monitor = self.index_of(name)
+
+    @property
+    def monitor_link(self) -> BottleneckLink:
+        """The link recorded by the engine's Recorder (``network.link``)."""
+        return self.links[self._monitor]
+
+    # ------------------------------------------------------------------ #
+    # Path resolution
+    # ------------------------------------------------------------------ #
+    def resolve_path(self, path: PathLike = None) -> Tuple[int, ...]:
+        """Normalise any :data:`PathLike` into a tuple of link positions.
+
+        ``None`` resolves to the full chain in insertion order — which for
+        a single-link topology is exactly the legacy behaviour.
+        """
+        if not self.links:
+            raise ValueError("topology has no links")
+        if path is None:
+            return tuple(range(len(self.links)))
+        if isinstance(path, str):
+            names: Sequence[Union[str, int]] = (path,)
+        elif isinstance(path, Path):
+            names = path.links
+        else:
+            names = tuple(path)
+        if not names:
+            raise ValueError("a path needs at least one link")
+        route = tuple(name if isinstance(name, int) else self.index_of(name)
+                      for name in names)
+        for position in route:
+            if not 0 <= position < len(self.links):
+                raise IndexError(f"link position {position} out of range")
+        for before, after in zip(route, route[1:]):
+            if before == after:
+                raise ValueError(
+                    f"path visits link {self.links[before].name!r} twice "
+                    f"in a row")
+        return route
+
+    def __repr__(self) -> str:
+        hops = " -> ".join(
+            f"{link.name}(+{delay * 1e3:.0f}ms)"
+            for link, delay in zip(self.links, self.delays))
+        return f"Topology({self.name!r}: {hops})"
+
+
+class TopologyNetwork:
+    """Tick-driven engine over a :class:`Topology` of store-and-forward hops.
+
+    Args:
+        topology: The wired set of links flows traverse.
+        dt: Simulation tick in seconds.
+        seed: Seed for the network-level random number generator (exposed to
+            traffic generators for reproducibility).
+    """
+
+    #: Event kinds handled by the engine loop.
+    _DELIVER = 0
+    _ACK = 1
+    _LOSS = 2
+    _CALL = 3
+    _START = 4
+    _HOP = 5
+
+    def __init__(self, topology: Topology, dt: float = 0.001,
+                 seed: int = 0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if not topology.links:
+            raise ValueError("topology has no links")
+        self.topology = topology
+        #: The monitor link: what the Recorder tracks and what single-
+        #: bottleneck code reaches via ``network.link``.
+        self.link = topology.monitor_link
+        self._links = topology.links
+        self._link_delays = topology.delays
+        self.dt = dt
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self.flows: List[Flow] = []
+        #: Per-flow routes (tuples of link positions), indexed by flow id.
+        self._routes: List[Tuple[int, ...]] = []
+        #: Hot-path mirrors of ``_routes``: the link a flow's emissions
+        #: enter, and the index of its final hop, both by flow id — one
+        #: list index on the per-chunk paths instead of a route unpack.
+        self._entry_links: List[BottleneckLink] = []
+        self._last_hop: List[int] = []
+        self.recorder = Recorder(self)
+        #: Calendar: tick index -> [(time, counter, kind, payload), ...].
+        self._calendar: dict = {}
+        #: Clock readings the engine will produce: entry ``k - _times_base``
+        #: is exactly the value ``self.now`` takes at tick ``k`` (generated
+        #: by the same repeated ``+ dt``), so bucket placement can reproduce
+        #: the heap engine's boundary behaviour bit for bit.  The consumed
+        #: prefix is trimmed periodically, keeping memory proportional to
+        #: the scheduling lookahead rather than the total ticks simulated.
+        self._future_times = array("d", (0.0,))
+        self._times_base = 0
+        self._tick = 0
+        self._counter = 0
+        #: Heap of events beyond the calendar horizon; migrated into the
+        #: calendar long before they are due.
+        self._spill: list = []
+        self._spill_span = _SPILL_TICKS * dt
+        self._migrate_span = (_SPILL_TICKS // 2) * dt
+        #: Min-heap holding the tick currently being dispatched; events
+        #: pushed *during* dispatch that are already due join it so they run
+        #: this tick, exactly as they would have popped from a global heap.
+        self._live: list = []
+        self._dispatching = False
+        #: Sorted flow ids (== positions in ``flows``) of started,
+        #: unfinished flows.  Per-tick work scales with this roster, not
+        #: with every flow ever created.
+        self._active: List[int] = []
+        self._next_flow_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_flow(self, flow: Flow, start: Optional[float] = None,
+                 path: PathLike = None) -> Flow:
+        """Register a flow; it starts at ``start`` (default ``flow.start_time``).
+
+        ``path`` names the links the flow traverses, in order (any
+        :data:`PathLike`); by default the flow follows the topology's full
+        chain, which on a single-link topology is the legacy behaviour.
+        """
+        # Resolve (and validate) the path before touching any engine state,
+        # so a bad path name leaves the engine exactly as it was.
+        route = self.topology.resolve_path(path)
+        flow.flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        self.flows.append(flow)
+        self._routes.append(route)
+        self._entry_links.append(self._links[route[0]])
+        self._last_hop.append(len(route) - 1)
+        start_time = flow.start_time if start is None else start
+        flow.start_time = start_time
+        if start_time <= self.now:
+            flow.start(self.now)
+            if flow.active:
+                insort(self._active, flow.flow_id)
+        else:
+            self._push(start_time, self._START, flow)
+        return flow
+
+    def route_of(self, flow_id: int) -> Tuple[BottleneckLink, ...]:
+        """The links flow ``flow_id`` traverses, in order."""
+        links = self._links
+        return tuple(links[position] for position in self._routes[flow_id])
+
+    def schedule_call(self, time: float, fn: Callable[[float], None]) -> None:
+        """Run ``fn(now)`` at the given simulation time (>= now)."""
+        self._push(max(time, self.now), self._CALL, fn)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: float) -> None:
+        """Advance the simulation until the given absolute time."""
+        while self.now < until - _EPS:
+            self.step()
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.run(self.now + duration)
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        self._tick += 1
+        times = self._future_times
+        index = self._tick - self._times_base
+        if len(times) <= index:
+            times.append(times[-1] + self.dt)
+        if index >= 4096:
+            # Nothing ever reads clock entries behind the current tick:
+            # drop the consumed prefix (values ahead are untouched, so the
+            # repeated-``+ dt`` chain — and every number — is unchanged).
+            del times[:index]
+            self._times_base = self._tick
+            index = 0
+        self.now = now = times[index]
+        spill = self._spill
+        if spill and spill[0][0] <= now + self._migrate_span:
+            calendar = self._calendar
+            while spill and spill[0][0] <= now + self._migrate_span:
+                entry = heappop(spill)
+                calendar.setdefault(self._bucket_of(entry[0]),
+                                    []).append(entry)
+        self._dispatch_events(now)
+        self._emit_all(now)
+        self._serve_links(now)
+        self.recorder.on_tick(now)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: int, payload) -> None:
+        self._counter += 1
+        entry = (time, self._counter, kind, payload)
+        if self._dispatching and time <= self.now + _EPS:
+            # Due while this very tick is dispatching: join the live heap.
+            heappush(self._live, entry)
+            return
+        if time - self.now > self._spill_span:
+            heappush(self._spill, entry)
+            return
+        bucket = self._bucket_of(time)
+        events = self._calendar.get(bucket)
+        if events is None:
+            self._calendar[bucket] = [entry]
+        else:
+            events.append(entry)
+
+    def _bucket_of(self, time: float) -> int:
+        """First future tick whose clock reading satisfies ``time <= now + eps``.
+
+        Evaluated against :attr:`_future_times`, i.e. against the exact
+        floats the main loop will assign to ``self.now``, so the answer
+        matches what a global heap would have done at every boundary.
+        """
+        times = self._future_times
+        dt = self.dt
+        base = self._times_base
+        floor = self._tick + 1
+        k = self._tick + int((time - self.now) / dt)
+        if k < floor:
+            k = floor
+        while len(times) <= k - base:
+            times.append(times[-1] + dt)
+        while times[k - base] < time - _EPS:
+            k += 1
+            if len(times) <= k - base:
+                times.append(times[-1] + dt)
+        while k > floor and times[k - 1 - base] >= time - _EPS:
+            k -= 1
+        return k
+
+    def _dispatch_events(self, now: float) -> None:
+        bucket = self._calendar.pop(self._tick, None)
+        if bucket is None:
+            return
+        # Entries sort by (time, counter): the order a global heap would
+        # pop them in.  A sorted list is a valid min-heap, so same-tick
+        # pushes made by handlers can be merged in without re-sorting.
+        bucket.sort()
+        live = self._live = bucket
+        self._dispatching = True
+        try:
+            flows = self.flows
+            due = now + _EPS
+            while live and live[0][0] <= due:
+                _, _, kind, payload = heappop(live)
+                if kind == self._DELIVER:
+                    self._deliver(payload, now)
+                elif kind == self._ACK:
+                    flow = flows[payload.flow_id]
+                    if not flow.finished:
+                        flow.handle_ack(payload, now)
+                        if flow.finished:
+                            self._deactivate(flow.flow_id)
+                elif kind == self._LOSS:
+                    flow = flows[payload.flow_id]
+                    if not flow.finished:
+                        flow.handle_loss(payload.lost_bytes, now)
+                elif kind == self._CALL:
+                    payload(now)
+                elif kind == self._START:
+                    payload.start(now)
+                    if payload.active:
+                        insort(self._active, payload.flow_id)
+                elif kind == self._HOP:
+                    self._forward(payload, now)
+        finally:
+            self._dispatching = False
+            if live:
+                # A handler raised mid-tick.  The old global heap kept the
+                # undispatched remainder queued; refile it for the next
+                # tick so a caller that catches the error and resumes does
+                # not silently lose in-flight deliveries and ACKs.
+                self._calendar.setdefault(self._tick + 1, []).extend(live)
+            self._live = []
+
+    def _deactivate(self, flow_id: int) -> None:
+        index = bisect_left(self._active, flow_id)
+        if index < len(self._active) and self._active[index] == flow_id:
+            del self._active[index]
+
+    def _deliver(self, chunk: Chunk, now: float) -> None:
+        """Chunk reaches the receiver; generate the acknowledgement."""
+        flow = self.flows[chunk.flow_id]
+        ack = Ack(flow_id=chunk.flow_id, acked_bytes=chunk.size,
+                  sent_time=chunk.sent_time, queue_delay=chunk.queue_delay,
+                  delivered_time=now)
+        self.recorder.on_delivery(flow, chunk, now)
+        self._push(now + flow.delay_ack, self._ACK, ack)
+
+    def _forward(self, chunk: Chunk, now: float) -> None:
+        """Chunk arrives at an intermediate hop; enter that hop's queue.
+
+        Bytes the hop's policy refuses become loss feedback to the sender
+        after the remaining path-plus-ACK delay, exactly like first-hop
+        drops.  ``queue_delay`` keeps accumulating across hops because
+        every link adds its own waiting time to the same chunk field.
+        """
+        route = self._routes[chunk.flow_id]
+        drops = self._links[route[chunk.hop]].enqueue(chunk, now)
+        if drops:
+            flow = self.flows[chunk.flow_id]
+            feedback_delay = self._loss_feedback_delay(route, chunk.hop, flow)
+            for drop in drops:
+                self._push(now + feedback_delay, self._LOSS, drop)
+
+    def _loss_feedback_delay(self, route: Tuple[int, ...], hop: int,
+                             flow: Flow) -> float:
+        """Time for a drop at ``route[hop]`` to surface at the sender.
+
+        Remaining downstream propagation (carried by the packets behind the
+        hole) plus the receiver leg and the ACK path; queueing on the way
+        is ignored, as it was in the single-link engine.
+        """
+        delays = self._link_delays
+        extra = 0.0
+        for position in route[hop:-1]:
+            extra += delays[position]
+        return extra + flow.delay_to_receiver + flow.delay_ack
+
+    def _emit_all(self, now: float) -> None:
+        # Rotate the service order every tick so that when the buffer is
+        # nearly full the tail-drop losses are shared across flows, as they
+        # would be with interleaved packets, instead of always falling on
+        # the flows that happen to be listed last.  The rotation point is
+        # still computed over every flow ever added, so the visit order of
+        # the surviving active flows matches the historical full scan.
+        active = self._active
+        if not active:
+            return
+        entry_links = self._entry_links
+        start = int(round(now / self.dt)) % len(self.flows)
+        pivot = bisect_left(active, start)
+        stale = None
+        for flow_id in active[pivot:] + active[:pivot]:
+            flow = self.flows[flow_id]
+            if not flow.active:
+                # Stopped from a callback; drop it from the roster lazily.
+                if stale is None:
+                    stale = [flow_id]
+                else:
+                    stale.append(flow_id)
+                continue
+            chunk = flow.emit(now, self.dt)
+            if chunk is None:
+                continue
+            drops = entry_links[flow_id].enqueue(chunk, now)
+            if drops:
+                feedback_delay = self._loss_feedback_delay(
+                    self._routes[flow_id], 0, flow)
+                for drop in drops:
+                    self._push(now + feedback_delay, self._LOSS, drop)
+        if stale is not None:
+            for flow_id in stale:
+                self._deactivate(flow_id)
+
+    def _serve_links(self, now: float) -> None:
+        flows = self.flows
+        last_hop = self._last_hop
+        dt = self.dt
+        for position, link in enumerate(self._links):
+            served = link.service(now, dt)
+            if not served:
+                continue
+            delay = self._link_delays[position]
+            for chunk in served:
+                flow_id = chunk.flow_id
+                if chunk.hop == last_hop[flow_id]:
+                    self._push(now + flows[flow_id].delay_to_receiver,
+                               self._DELIVER, chunk)
+                else:
+                    chunk.hop += 1
+                    self._push(now + delay, self._HOP, chunk)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by experiments
+    # ------------------------------------------------------------------ #
+    def active_flows(self) -> Iterable[Flow]:
+        """Flows that have started and not yet completed."""
+        flows = self.flows
+        return (flows[i] for i in self._active if flows[i].active)
+
+    def active_flow_ids(self) -> List[int]:
+        """Sorted ids of started, unfinished flows (a fresh list).
+
+        The roster can momentarily include a flow whose callback stopped it
+        mid-tick; callers should still check ``flow.active``.
+        """
+        return list(self._active)
+
+    def flows_named(self, name: str) -> List[Flow]:
+        """All flows whose label equals ``name``."""
+        return [f for f in self.flows if f.name == name]
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(topology={self.topology!r}, "
+                f"dt={self.dt}, flows={len(self.flows)})")

@@ -85,7 +85,28 @@ def test_sweep_mode_expands_the_grid(toy_index, capsys):
     out = capsys.readouterr().out
     assert out.count("--- toy [") == 3
     for seed in (1, 2, 3):
-        assert f"seed={float(seed)}" in out
+        assert f"seed={seed}" in out
+    # Every row shows the *full* parameter tuple: the fixed --set override
+    # and the duration ride along with the swept axis.
+    assert out.count("scale=2") == 3
+    assert out.count("duration=0.5") == 3
+
+
+def test_sweep_rows_disambiguate_multi_axis_combinations(toy_index, capsys):
+    """With several axes every row names every (axis, value) pair, swept
+    axes first in command-line order, so no two rows print identically."""
+    code = runner.main(["sweep", "toy", "--duration", "0.5",
+                        "--set", "scale=1,2", "--set", "seed=3,4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    rows = [line for line in out.splitlines()
+            if line.startswith("--- toy [")]
+    assert len(rows) == 4
+    assert len(set(rows)) == 4
+    for scale in (1, 2):
+        for seed in (3, 4):
+            assert any(f"[scale={scale}, seed={seed}," in row
+                       for row in rows), rows
 
 
 def test_sweep_mode_requires_target(capsys):

@@ -228,8 +228,9 @@ def test_run_batch_preserves_order(tmp_path):
 # --------------------------------------------------------------------- #
 # Layering
 # --------------------------------------------------------------------- #
-def test_runtime_does_not_import_experiments():
-    """The runtime layer must stay importable without the driver layer."""
+def _imports_none_of(module: str, forbidden_prefixes) -> bool:
+    """Import ``module`` in a clean interpreter; True if no forbidden
+    package was pulled into ``sys.modules``."""
     import os
     import subprocess
 
@@ -238,11 +239,24 @@ def test_runtime_does_not_import_experiments():
     src = os.path.dirname(os.path.dirname(repro.__file__))
     env = dict(os.environ)
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    code = ("import sys; import repro.runtime; "
-            "bad = [m for m in sys.modules if m.startswith('repro.experiments')]; "
-            "sys.exit(1 if bad else 0)")
+    prefixes = tuple(forbidden_prefixes)
+    code = (f"import sys; import {module}; "
+            f"bad = [m for m in sys.modules if m.startswith({prefixes!r})]; "
+            f"sys.exit(1 if bad else 0)")
     proc = subprocess.run([sys.executable, "-c", code], env=env)
-    assert proc.returncode == 0
+    return proc.returncode == 0
+
+
+def test_runtime_does_not_import_experiments():
+    """The runtime layer must stay importable without the driver layer."""
+    assert _imports_none_of("repro.runtime", ("repro.experiments",))
+
+
+def test_topology_layer_imports_neither_runtime_nor_experiments():
+    """The simulator's topology core sits below both upper layers: it must
+    be importable with no runtime (and no driver) module loaded."""
+    assert _imports_none_of("repro.simulator.topology",
+                            ("repro.runtime", "repro.experiments"))
 
 
 # --------------------------------------------------------------------- #
