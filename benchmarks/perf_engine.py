@@ -33,9 +33,10 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 # Allow running from a source checkout without installation, while still
 # honouring a PYTHONPATH that points at another tree (A/B timing).
@@ -59,8 +60,34 @@ from repro.traffic import WanTrafficGenerator, WanWorkloadConfig  # noqa: E402
 #: Default location of the tracked trajectory file (repo root).
 DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_engine.json")
 
-#: Schema version of the JSON payload.
-SCHEMA = 1
+#: Schema version of the JSON payload.  v2 added ``schema_version`` (alias
+#: of the historical ``schema`` key) and ``git_commit`` provenance.
+SCHEMA = 2
+
+
+def _git_commit() -> Optional[str]:
+    """The source commit the numbers were recorded at, or ``None``.
+
+    A ``-dirty`` suffix marks numbers recorded from a working tree with
+    uncommitted changes, so a baseline can't silently claim provenance
+    from a commit whose code it didn't actually run.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "-C", _ROOT, "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+        status = subprocess.run(
+            ["git", "-C", _ROOT, "status", "--porcelain",
+             "--untracked-files=no"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    if out.returncode != 0 or not commit:
+        return None
+    if status.returncode == 0 and status.stdout.strip():
+        commit += "-dirty"
+    return commit
 
 
 def _scenario_cruise() -> Dict[str, float]:
@@ -150,9 +177,11 @@ def run_scenarios(names, repeat: int = 1) -> Dict[str, Dict[str, float]]:
 def write_report(results: Dict[str, Dict[str, float]], path: str) -> dict:
     report = {
         "schema": SCHEMA,
+        "schema_version": SCHEMA,
         "bench": "engine",
         "created_unix": int(time.time()),
         "python": platform.python_version(),
+        "git_commit": _git_commit(),
         "scenarios": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -187,6 +216,10 @@ def check_against_baseline(results: Dict[str, Dict[str, float]],
         print(f"perf regression (> {threshold:.1f}x) in: "
               f"{', '.join(failures)}", file=sys.stderr)
         return 1
+    compared = sum(1 for name in results
+                   if name in baseline.get("scenarios", {}))
+    print(f"perf check OK: {compared} scenario(s) within "
+          f"{threshold:.2f}x of baseline")
     return 0
 
 

@@ -16,6 +16,9 @@ from .metrics import (
     rate_cdf_over_intervals,
     summarize_flow,
 )
+# NOTE: repro.analysis.telemetry is deliberately NOT imported here — it is
+# runnable as ``python -m repro.analysis.telemetry`` and importing it from
+# the package __init__ would trigger runpy's double-import warning.
 
 __all__ = [
     "AccuracyReport",

@@ -1,0 +1,162 @@
+"""Loaders and summaries for the simulator's telemetry files.
+
+Two JSONL artefacts come out of an instrumented run: an *event trace*
+(``--trace`` / ``REPRO_TRACE``, schema in
+:mod:`repro.simulator.telemetry`) and *runtime metrics* (``--metrics``,
+schema in :mod:`repro.runtime.metrics`).  This module turns either file
+into validated records and small summary tables, and doubles as the CI
+validator::
+
+    python -m repro.analysis.telemetry validate --kind trace trace.jsonl
+    python -m repro.analysis.telemetry validate --kind metrics metrics.jsonl
+    python -m repro.analysis.telemetry summary --kind trace trace.jsonl
+
+``validate`` exits non-zero on the first malformed line, naming the line
+number and the schema violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..runtime.metrics import validate_metrics_record
+from ..simulator.telemetry import LINK_KINDS, validate_trace_record
+
+
+def _iter_jsonl(path: str) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line number, parsed object)`` for every non-blank line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON ({error})") from None
+            yield number, record
+
+
+def _load(path: str, validate: Callable[[dict], None]) -> List[dict]:
+    records = []
+    for number, record in _iter_jsonl(path):
+        try:
+            validate(record)
+        except ValueError as error:
+            raise ValueError(f"{path}:{number}: {error}") from None
+        records.append(record)
+    return records
+
+
+def load_trace(path: str) -> List[dict]:
+    """Read and schema-validate an event-trace JSONL file."""
+    return _load(path, validate_trace_record)
+
+
+def load_metrics(path: str) -> List[dict]:
+    """Read and schema-validate a runtime-metrics JSONL file."""
+    return _load(path, validate_metrics_record)
+
+
+def trace_summary(records: Iterable[dict]) -> Dict[str, Counter]:
+    """Event counts overall, per flow, and per link.
+
+    Returns a dict with three counters: ``events`` (by event kind),
+    ``flows`` (events per flow label), and ``links`` (link-located events
+    — enqueue / hop / drop — per link name).
+    """
+    events: Counter = Counter()
+    flows: Counter = Counter()
+    links: Counter = Counter()
+    for record in records:
+        events[record["event"]] += 1
+        flows[record["flow"]] += 1
+        if record["event"] in LINK_KINDS:
+            links[record["link"]] += 1
+    return {"events": events, "flows": flows, "links": links}
+
+
+def metrics_summary(records: Iterable[dict]) -> Dict[str, Optional[float]]:
+    """Aggregate a metrics file: cache accounting and execution rates."""
+    records = list(records)
+    executed = [r for r in records
+                if r["cache"] == "miss" and not r["dedup"]]
+    seconds = [r["seconds"] for r in executed if r["seconds"] is not None]
+    rates = [r["ticks_per_sec"] for r in executed
+             if r["ticks_per_sec"] is not None]
+    workers = {r["worker_pid"] for r in executed
+               if r["worker_pid"] is not None}
+    return {
+        "specs": len(records),
+        "hits": sum(r["cache"] == "hit" for r in records),
+        "misses": sum(r["cache"] == "miss" for r in records),
+        "executed": len(executed),
+        "deduped": sum(r["dedup"] for r in records),
+        "workers": len(workers),
+        "total_seconds": sum(seconds) if seconds else 0.0,
+        "mean_ticks_per_sec": (sum(rates) / len(rates)) if rates else None,
+    }
+
+
+def _counter_table(title: str, counter: Counter, indent: str = "  ") -> str:
+    lines = [title]
+    width = max((len(str(key)) for key in counter), default=0)
+    for key, count in counter.most_common():
+        lines.append(f"{indent}{str(key):<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def render_trace_summary(records: Iterable[dict]) -> str:
+    summary = trace_summary(records)
+    return "\n".join([
+        _counter_table("events:", summary["events"]),
+        _counter_table("flows:", summary["flows"]),
+        _counter_table("links:", summary["links"]),
+    ])
+
+
+def render_metrics_summary(records: Iterable[dict]) -> str:
+    summary = metrics_summary(records)
+    lines = []
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = f"{value:.3g}"
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+_LOADERS = {"trace": load_trace, "metrics": load_metrics}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: validate or summarise a telemetry JSONL file."""
+    parser = argparse.ArgumentParser(
+        description="Validate or summarise simulator telemetry files.")
+    parser.add_argument("command", choices=("validate", "summary"))
+    parser.add_argument("--kind", choices=sorted(_LOADERS), required=True,
+                        help="Which schema the file must match")
+    parser.add_argument("path", help="JSONL file to read")
+    args = parser.parse_args(argv)
+
+    try:
+        records = _LOADERS[args.kind](args.path)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.command == "validate":
+        print(f"{args.path}: {len(records)} valid {args.kind} record(s)")
+        return 0
+    if args.kind == "trace":
+        print(render_trace_summary(records))
+    else:
+        print(render_metrics_summary(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

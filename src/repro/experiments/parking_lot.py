@@ -110,12 +110,22 @@ def run_case(scheme: str = "nimbus", hops: int = 3, cross_flows: int = 2,
     per_hop = {}
     for link, delay in zip(network.topology.links,
                            network.topology.delays):
+        times, qdelay_ms = recorder.link_queue_delay_series(link.name)
+        _, tput_mbps = recorder.link_throughput_series(link.name)
+        _, drop_mbps = recorder.link_drop_series(link.name)
+        settled = times >= warmup
         per_hop[link.name] = {
             "offered_bytes": link.total_offered,
             "served_bytes": link.total_served,
             "dropped_bytes": link.total_drops,
             "queued_bytes": link.queue_bytes,
             "delay_ms": delay * 1e3,
+            "queue_delay_ms_mean": (float(qdelay_ms[settled].mean())
+                                    if settled.any() else 0.0),
+            "throughput_mbps_mean": (float(tput_mbps[settled].mean())
+                                     if settled.any() else 0.0),
+            "drop_mbps_mean": (float(drop_mbps[settled].mean())
+                               if settled.any() else 0.0),
         }
     cross_tput = {
         flow.name: recorder.mean_throughput(flow.name, start=warmup)

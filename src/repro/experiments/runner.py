@@ -18,17 +18,25 @@ the whole grid as one scenario batch (parallel workers + result cache)::
 Execution goes through :mod:`repro.runtime`, so repeated invocations with
 identical parameters are served from the on-disk cache (see
 ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` / ``REPRO_BENCH_WORKERS``).
+
+Observability flags: ``--metrics PATH`` appends one JSONL record per spec
+(cache hit/miss, wall seconds, worker pid — see
+:mod:`repro.runtime.metrics`); ``--trace PATH`` streams structured engine
+events to a JSONL file (see :mod:`repro.simulator.telemetry`).  Tracing
+forces a cold, serial run: a cache hit would simulate nothing (and emit no
+events), and pool workers appending to one file would interleave lines.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from typing import Dict, List, Tuple
 
-from ..runtime import BatchExecutor, ScenarioSpec
+from ..runtime import BatchExecutor, ResultCache, ScenarioSpec
 from ..runtime.spec import expand_grid
 from . import EXPERIMENT_INDEX
 from .common import ExperimentResult
@@ -155,6 +163,14 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="After the batch, print per-scenario wall time "
                              "and cache hit/miss counts")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="Append one runtime-metrics JSONL record per "
+                             "scenario to PATH")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="Stream structured engine events to a JSONL "
+                             "trace at PATH (forces a cold, serial run; "
+                             "filters via REPRO_TRACE_FLOWS/LINKS/EVENTS/"
+                             "SAMPLE)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -203,9 +219,47 @@ def main(argv: List[str] | None = None) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
-    executor = BatchExecutor()
+    for label, path in (("--trace", args.trace), ("--metrics", args.metrics)):
+        if path:
+            # Fail before simulating, not after: both files are appended
+            # to at the end of (or during) a possibly long run.
+            try:
+                open(path, "a").close()
+            except OSError as error:
+                print(f"{label} {path}: {error}", file=sys.stderr)
+                return 2
+
+    if args.trace:
+        # A warm cache would simulate nothing (no events to trace), and
+        # parallel workers appending to one JSONL file would interleave
+        # partial lines — so tracing runs cold and serial.
+        executor = BatchExecutor(workers=1, cache=ResultCache(enabled=False),
+                                 metrics_path=args.metrics)
+    else:
+        executor = BatchExecutor(metrics_path=args.metrics)
     begin = time.perf_counter()
-    results = executor.run(specs)
+    if args.trace:
+        # The engine reads REPRO_TRACE at construction time, deep inside
+        # the driver, and drivers run their own nested batches — the
+        # environment is the only channel that reaches all of them.
+        # REPRO_NO_CACHE keeps those nested batches from serving cached
+        # results (a cache hit simulates nothing, so it traces nothing)
+        # and REPRO_BENCH_WORKERS=1 keeps pool workers from interleaving
+        # partial lines in the one JSONL file.
+        forced = {"REPRO_TRACE": args.trace, "REPRO_NO_CACHE": "1",
+                  "REPRO_BENCH_WORKERS": "1"}
+        saved = {key: os.environ.get(key) for key in forced}
+        os.environ.update(forced)
+        try:
+            results = executor.run(specs)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    else:
+        results = executor.run(specs)
     wall = time.perf_counter() - begin
     for spec, result in zip(specs, results):
         if sweep_mode:

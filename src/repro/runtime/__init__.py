@@ -37,12 +37,19 @@ from .executor import (
     run_batch,
     run_scenario,
 )
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    metrics_record,
+    validate_metrics_record,
+    write_metrics,
+)
 from .spec import ScenarioSpec
 
 __all__ = [
     "BatchExecutor",
     "BatchStats",
     "LinkSpec",
+    "METRICS_SCHEMA_VERSION",
     "ResultCache",
     "ScenarioSpec",
     "cache_enabled",
@@ -53,7 +60,10 @@ __all__ = [
     "make_network",
     "make_scheme",
     "make_topology",
+    "metrics_record",
     "run_batch",
     "run_scenario",
     "source_digest",
+    "validate_metrics_record",
+    "write_metrics",
 ]

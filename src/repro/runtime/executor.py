@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import MISS, ResultCache
+from .metrics import metrics_record, write_metrics
 from .spec import ScenarioSpec
 
 #: Set in worker processes (and honoured by nested executors) so a driver
@@ -49,12 +50,12 @@ def execute_spec(spec: ScenarioSpec) -> Any:
     return target(**spec.kwargs())
 
 
-def _timed_execute_in_worker(spec: ScenarioSpec) -> Tuple[float, Any]:
+def _timed_execute_in_worker(spec: ScenarioSpec) -> Tuple[float, int, Any]:
     """Pool entry point: mark the process as a worker, execute, and time it."""
     os.environ[_WORKER_ENV] = "1"
     begin = time.perf_counter()
     result = execute_spec(spec)
-    return time.perf_counter() - begin, result
+    return time.perf_counter() - begin, os.getpid(), result
 
 
 @dataclass
@@ -89,14 +90,21 @@ class BatchExecutor:
         workers: Process-pool width; ``None`` reads the environment.
         cache: Result cache; ``None`` builds one from the environment.
             Pass ``ResultCache(enabled=False)`` to force cold runs.
+        metrics_path: When set, every :meth:`run` appends one JSONL record
+            per spec to this file (see :mod:`repro.runtime.metrics`).
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 metrics_path: Optional[str] = None) -> None:
         self.workers = configured_workers() if workers is None else max(1, workers)
         self.cache = ResultCache() if cache is None else cache
+        self.metrics_path = metrics_path
         #: Accounting for the most recent batch (see :class:`BatchStats`).
         self.last_stats: Optional[BatchStats] = None
+        #: Metrics records for the most recent batch, in spec order
+        #: (populated even when ``metrics_path`` is unset).
+        self.last_metrics: List[dict] = []
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
         """Execute a batch; results come back in spec order.
@@ -115,15 +123,17 @@ class BatchExecutor:
             if result is MISS and hashes[index] not in unique:
                 unique[hashes[index]] = index
         seconds_by_hash: dict = {}
+        pid_by_hash: dict = {}
         if unique:
             fresh = self._run_misses([specs[i] for i in unique.values()])
             by_hash = dict(zip(unique, fresh))
-            for spec_hash, (seconds, result) in by_hash.items():
+            for spec_hash, (seconds, pid, result) in by_hash.items():
                 seconds_by_hash[spec_hash] = seconds
+                pid_by_hash[spec_hash] = pid
                 self.cache.put(spec_hash, result)
             for index, result in enumerate(results):
                 if result is MISS:
-                    results[index] = by_hash[hashes[index]][1]
+                    results[index] = by_hash[hashes[index]][2]
         self.last_stats = BatchStats(
             hits=missed.count(False),
             misses=missed.count(True),
@@ -131,6 +141,16 @@ class BatchExecutor:
             timings=[(spec.label,
                       seconds_by_hash[hashes[index]] if missed[index] else None)
                      for index, spec in enumerate(specs)])
+        self.last_metrics = [
+            metrics_record(
+                spec,
+                cache="miss" if missed[index] else "hit",
+                seconds=seconds_by_hash[hashes[index]] if missed[index] else None,
+                worker_pid=pid_by_hash[hashes[index]] if missed[index] else None,
+                dedup=missed[index] and unique.get(hashes[index]) != index)
+            for index, spec in enumerate(specs)]
+        if self.metrics_path:
+            write_metrics(self.last_metrics, self.metrics_path)
         return results
 
     def run_one(self, spec: ScenarioSpec) -> Any:
@@ -144,15 +164,17 @@ class BatchExecutor:
                  for params in param_sets]
         return self.run(specs)
 
-    def _run_misses(self,
-                    specs: Sequence[ScenarioSpec]) -> List[Tuple[float, Any]]:
-        """Execute specs, returning ``(wall seconds, result)`` per spec."""
+    def _run_misses(
+            self, specs: Sequence[ScenarioSpec]
+    ) -> List[Tuple[float, int, Any]]:
+        """Execute specs, returning ``(wall seconds, pid, result)`` per spec."""
         if self.workers <= 1 or len(specs) <= 1:
-            timed: List[Tuple[float, Any]] = []
+            timed: List[Tuple[float, int, Any]] = []
+            pid = os.getpid()
             for spec in specs:
                 begin = time.perf_counter()
                 result = execute_spec(spec)
-                timed.append((time.perf_counter() - begin,
+                timed.append((time.perf_counter() - begin, pid,
                               _pickle_roundtrip(result)))
             return timed
         width = min(self.workers, len(specs))

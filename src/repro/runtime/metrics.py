@@ -1,0 +1,149 @@
+"""Per-spec runtime metrics for batch execution.
+
+Every :meth:`~repro.runtime.executor.BatchExecutor.run` can stream one
+JSON-lines record per spec describing how that spec was resolved: served
+from the on-disk cache, simulated fresh, or fanned out from an in-batch
+duplicate.  The records are plain dicts, one JSON object per line, so any
+log shipper (or :mod:`repro.analysis.telemetry`) can consume them without
+a schema registry.
+
+Record schema (``schema_version`` = :data:`METRICS_SCHEMA_VERSION`):
+
+``schema_version``
+    Integer schema tag for forward compatibility.
+``spec_hash``
+    The spec's content hash (cache key core).
+``label`` / ``fn``
+    Display label and dotted target path of the spec.
+``cache``
+    ``"hit"`` (served from the on-disk cache) or ``"miss"`` (simulated).
+``dedup``
+    True when this position was a miss but shared another identical
+    miss's execution instead of running its own simulation.
+``seconds``
+    Execution wall time; ``None`` for cache hits (duplicates report the
+    shared execution's time).
+``worker_pid``
+    PID of the process that ran the simulation; ``None`` for cache hits.
+``ticks``
+    ``round(duration / dt)`` when both parameters are present on the
+    spec, else ``None`` — the tick count the driver will simulate.
+``ticks_per_sec``
+    ``ticks / seconds`` when both are known, else ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+from .spec import ScenarioSpec
+
+#: Version tag stamped into every record.
+METRICS_SCHEMA_VERSION = 1
+
+#: Fields every record must carry (beyond these, extras are rejected).
+_FIELDS = ("schema_version", "spec_hash", "label", "fn", "cache", "dedup",
+           "seconds", "worker_pid", "ticks", "ticks_per_sec")
+
+_CACHE_STATES = ("hit", "miss")
+
+
+def metrics_record(spec: ScenarioSpec, *, cache: str,
+                   seconds: Optional[float] = None,
+                   worker_pid: Optional[int] = None,
+                   dedup: bool = False) -> dict:
+    """Build one schema-conformant record for ``spec``."""
+    params = spec.kwargs()
+    ticks: Optional[int] = None
+    duration = params.get("duration")
+    dt = params.get("dt")
+    if isinstance(duration, (int, float)) and isinstance(dt, (int, float)) \
+            and dt > 0:
+        ticks = int(round(duration / dt))
+    ticks_per_sec: Optional[float] = None
+    if ticks is not None and seconds:
+        ticks_per_sec = ticks / seconds
+    record = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "spec_hash": spec.spec_hash(),
+        "label": spec.label,
+        "fn": spec.fn,
+        "cache": cache,
+        "dedup": bool(dedup),
+        "seconds": seconds,
+        "worker_pid": worker_pid,
+        "ticks": ticks,
+        "ticks_per_sec": ticks_per_sec,
+    }
+    validate_metrics_record(record)
+    return record
+
+
+def validate_metrics_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the documented schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"metrics record must be a dict, got "
+                         f"{type(record).__name__}")
+    missing = [name for name in _FIELDS if name not in record]
+    if missing:
+        raise ValueError(f"metrics record missing fields {missing}")
+    extras = [name for name in record if name not in _FIELDS]
+    if extras:
+        raise ValueError(f"metrics record has unknown fields {extras}")
+    if record["schema_version"] != METRICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"metrics schema_version must be {METRICS_SCHEMA_VERSION}, "
+            f"got {record['schema_version']!r}")
+    if record["cache"] not in _CACHE_STATES:
+        raise ValueError(f"cache must be one of {_CACHE_STATES}, "
+                         f"got {record['cache']!r}")
+    for name in ("spec_hash", "label", "fn"):
+        if not isinstance(record[name], str):
+            raise ValueError(f"{name} must be a string, "
+                             f"got {record[name]!r}")
+    if not isinstance(record["dedup"], bool):
+        raise ValueError(f"dedup must be a bool, got {record['dedup']!r}")
+    seconds = record["seconds"]
+    if seconds is not None and not (isinstance(seconds, (int, float))
+                                    and not isinstance(seconds, bool)
+                                    and seconds >= 0):
+        raise ValueError(f"seconds must be None or >= 0, got {seconds!r}")
+    if record["cache"] == "hit" and seconds is not None:
+        raise ValueError("cache hits must report seconds=None")
+    pid = record["worker_pid"]
+    if pid is not None and not (isinstance(pid, int)
+                                and not isinstance(pid, bool) and pid > 0):
+        raise ValueError(f"worker_pid must be None or a positive int, "
+                         f"got {pid!r}")
+    ticks = record["ticks"]
+    if ticks is not None and not (isinstance(ticks, int)
+                                  and not isinstance(ticks, bool)
+                                  and ticks >= 0):
+        raise ValueError(f"ticks must be None or a non-negative int, "
+                         f"got {ticks!r}")
+
+
+def write_metrics(records: Iterable[dict],
+                  path_or_handle: Union[str, IO[str]]) -> int:
+    """Append ``records`` to a JSONL file (or open handle); returns count.
+
+    Lines are compact, key-sorted JSON — the same framing the trace sink
+    uses — so the two files can share loaders.
+    """
+    written = 0
+    if isinstance(path_or_handle, str):
+        handle: IO[str] = open(path_or_handle, "a", encoding="utf-8")
+        owns = True
+    else:
+        handle, owns = path_or_handle, False
+    try:
+        for record in records:
+            validate_metrics_record(record)
+            handle.write(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+            written += 1
+    finally:
+        if owns:
+            handle.close()
+    return written

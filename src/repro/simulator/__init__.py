@@ -13,7 +13,16 @@ from .link import BottleneckLink
 from .measurement import FlowMeasurement, WindowedCounter
 from .packet import Ack, Chunk, FlowStats, LossEvent
 from .source import BackloggedSource, FiniteSource, PacedSource, Source
-from .topology import Path, Topology, TopologyNetwork
+from .telemetry import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    ListTraceSink,
+    TraceSink,
+    sink_from_env,
+    validate_trace_record,
+)
+from .topology import AuditError, Path, Topology, TopologyNetwork
 from .trace import Recorder
 from .units import (
     BITS_PER_BYTE,
@@ -27,15 +36,19 @@ from .units import (
 
 __all__ = [
     "Ack",
+    "AuditError",
     "BackloggedSource",
     "BITS_PER_BYTE",
     "BottleneckLink",
     "Chunk",
     "DropTail",
+    "EVENT_KINDS",
     "Flow",
     "FlowMeasurement",
     "FlowStats",
     "FiniteSource",
+    "JsonlTraceSink",
+    "ListTraceSink",
     "LossEvent",
     "MSS_BYTES",
     "Network",
@@ -47,7 +60,11 @@ __all__ = [
     "Source",
     "Topology",
     "TopologyNetwork",
+    "TraceSink",
+    "TRACE_SCHEMA_VERSION",
     "WindowedCounter",
+    "sink_from_env",
+    "validate_trace_record",
     "bdp_bytes",
     "bytes_per_sec_to_mbps",
     "mbps_to_bytes_per_sec",

@@ -41,11 +41,13 @@ class Network(TopologyNetwork):
         dt: Simulation tick in seconds.
         seed: Seed for the network-level random number generator (exposed to
             traffic generators for reproducibility).
+        trace: Optional :class:`~repro.simulator.telemetry.TraceSink`; see
+            :class:`TopologyNetwork`.
     """
 
     def __init__(self, link: BottleneckLink, dt: float = 0.001,
-                 seed: int = 0) -> None:
-        super().__init__(Topology.single(link), dt=dt, seed=seed)
+                 seed: int = 0, trace=None) -> None:
+        super().__init__(Topology.single(link), dt=dt, seed=seed, trace=trace)
 
     def __repr__(self) -> str:
         return (f"Network(link={self.link!r}, dt={self.dt}, "

@@ -44,6 +44,7 @@ re-scanned forever.
 
 from __future__ import annotations
 
+import os
 import random
 from array import array
 from bisect import bisect_left, insort
@@ -65,6 +66,7 @@ from .aqm import QueuePolicy
 from .endpoint import Flow
 from .link import BottleneckLink
 from .packet import Ack, Chunk
+from .telemetry import TraceSink, sink_from_env
 from .trace import Recorder
 
 #: Slack applied to every "has this event's time arrived?" comparison, kept
@@ -76,6 +78,45 @@ _EPS = 1e-12
 #: a small spill-over heap, so one far-future ``schedule_call`` cannot force
 #: the future-clock array to materialise millions of entries up front.
 _SPILL_TICKS = 1 << 20
+
+#: Tick period of the ``REPRO_AUDIT=1`` conservation re-check (``REPRO_AUDIT``
+#: set to an integer > 1 overrides the period directly).
+_AUDIT_DEFAULT_TICKS = 256
+
+
+class AuditError(AssertionError):
+    """A ``REPRO_AUDIT`` invariant re-check failed mid-run."""
+
+
+class _EngineStats:
+    """The :meth:`TopologyNetwork.engine_stats` counters, in one slot.
+
+    A single slotted holder instead of four instance attributes: CPython
+    caps shared-key instance dicts at 30 entries, and spilling the network
+    past that line materializes a per-instance table that slows every
+    ``self.<attr>`` load on the hot path.
+    """
+
+    __slots__ = ("executed", "spill_peak", "roster_peak", "buckets_created")
+
+    def __init__(self) -> None:
+        self.executed = 0
+        self.spill_peak = 0
+        self.roster_peak = 0
+        self.buckets_created = 0
+
+
+def _audit_period_from_env(environ=None) -> int:
+    """The conservation-audit period in ticks; 0 when auditing is off."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_AUDIT", "").strip().lower()
+    if not raw or raw in ("0", "false", "no", "off"):
+        return 0
+    try:
+        period = int(raw)
+    except ValueError:
+        return _AUDIT_DEFAULT_TICKS
+    return period if period > 1 else _AUDIT_DEFAULT_TICKS
 
 
 @dataclass(frozen=True)
@@ -237,6 +278,11 @@ class TopologyNetwork:
         dt: Simulation tick in seconds.
         seed: Seed for the network-level random number generator (exposed to
             traffic generators for reproducibility).
+        trace: Optional :class:`~repro.simulator.telemetry.TraceSink` the
+            engine narrates structured events to.  ``None`` (the default)
+            falls back to the environment (``REPRO_TRACE``); with no sink
+            configured every emission site reduces to one pointer check and
+            the run is numerically identical to an untraced engine.
     """
 
     #: Event kinds handled by the engine loop.
@@ -248,7 +294,7 @@ class TopologyNetwork:
     _HOP = 5
 
     def __init__(self, topology: Topology, dt: float = 0.001,
-                 seed: int = 0) -> None:
+                 seed: int = 0, trace: Optional[TraceSink] = None) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
         if not topology.links:
@@ -298,6 +344,16 @@ class TopologyNetwork:
         #: with every flow ever created.
         self._active: List[int] = []
         self._next_flow_id = 0
+        #: Flight recorder: ``None`` keeps every emission site to a single
+        #: pointer check, so an untraced run is numerically unchanged.
+        self._sink: Optional[TraceSink] = (trace if trace is not None
+                                           else sink_from_env())
+        #: Last mode observed per mode-switching flow (trace-only state).
+        self._last_modes: Dict[int, str] = {}
+        #: ``REPRO_AUDIT`` conservation re-check period in ticks (0 = off).
+        self._audit_every = _audit_period_from_env()
+        # engine_stats() counters; _counter above doubles as "scheduled".
+        self._stats = _EngineStats()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -325,8 +381,17 @@ class TopologyNetwork:
             flow.start(self.now)
             if flow.active:
                 insort(self._active, flow.flow_id)
+                if len(self._active) > self._stats.roster_peak:
+                    self._stats.roster_peak = len(self._active)
         else:
             self._push(start_time, self._START, flow)
+        if self._sink is not None:
+            self._sink.emit({
+                "time": self.now, "event": "flow_start",
+                "flow_id": flow.flow_id, "flow": flow.name,
+                "cc": flow.cc.name,
+                "path": [self._links[i].name for i in route],
+                "start": start_time})
         return flow
 
     def route_of(self, flow_id: int) -> Tuple[BottleneckLink, ...]:
@@ -345,6 +410,8 @@ class TopologyNetwork:
         """Advance the simulation until the given absolute time."""
         while self.now < until - _EPS:
             self.step()
+        if self._sink is not None:
+            self._sink.flush()
 
     def run_for(self, duration: float) -> None:
         """Advance the simulation by ``duration`` seconds."""
@@ -370,12 +437,21 @@ class TopologyNetwork:
             calendar = self._calendar
             while spill and spill[0][0] <= now + self._migrate_span:
                 entry = heappop(spill)
-                calendar.setdefault(self._bucket_of(entry[0]),
-                                    []).append(entry)
+                bucket = self._bucket_of(entry[0])
+                events = calendar.get(bucket)
+                if events is None:
+                    calendar[bucket] = [entry]
+                    self._stats.buckets_created += 1
+                else:
+                    events.append(entry)
         self._dispatch_events(now)
         self._emit_all(now)
         self._serve_links(now)
         self.recorder.on_tick(now)
+        if self._sink is not None:
+            self._trace_modes(now)
+        if self._audit_every and not self._tick % self._audit_every:
+            self.audit_conservation()
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -385,15 +461,21 @@ class TopologyNetwork:
         entry = (time, self._counter, kind, payload)
         if self._dispatching and time <= self.now + _EPS:
             # Due while this very tick is dispatching: join the live heap.
+            # Counted as executed up front; the dispatch loop drains the
+            # heap, and its finally block subtracts anything left behind.
             heappush(self._live, entry)
+            self._stats.executed += 1
             return
         if time - self.now > self._spill_span:
             heappush(self._spill, entry)
+            if len(self._spill) > self._stats.spill_peak:
+                self._stats.spill_peak = len(self._spill)
             return
         bucket = self._bucket_of(time)
         events = self._calendar.get(bucket)
         if events is None:
             self._calendar[bucket] = [entry]
+            self._stats.buckets_created += 1
         else:
             events.append(entry)
 
@@ -430,9 +512,11 @@ class TopologyNetwork:
         # pushes made by handlers can be merged in without re-sorting.
         bucket.sort()
         live = self._live = bucket
+        entered = len(live)
         self._dispatching = True
         try:
             flows = self.flows
+            sink = self._sink
             due = now + _EPS
             while live and live[0][0] <= due:
                 _, _, kind, payload = heappop(live)
@@ -442,21 +526,40 @@ class TopologyNetwork:
                     flow = flows[payload.flow_id]
                     if not flow.finished:
                         flow.handle_ack(payload, now)
+                        if sink is not None:
+                            sink.emit({
+                                "time": now, "event": "ack",
+                                "flow_id": payload.flow_id,
+                                "flow": flow.name,
+                                "bytes": payload.acked_bytes,
+                                "rtt": now - payload.sent_time,
+                                "queue_delay": payload.queue_delay})
                         if flow.finished:
                             self._deactivate(flow.flow_id)
                 elif kind == self._LOSS:
                     flow = flows[payload.flow_id]
                     if not flow.finished:
                         flow.handle_loss(payload.lost_bytes, now)
+                        if sink is not None:
+                            sink.emit({
+                                "time": now, "event": "loss",
+                                "flow_id": payload.flow_id,
+                                "flow": flow.name,
+                                "bytes": payload.lost_bytes})
                 elif kind == self._CALL:
                     payload(now)
                 elif kind == self._START:
                     payload.start(now)
                     if payload.active:
                         insort(self._active, payload.flow_id)
+                        if len(self._active) > self._stats.roster_peak:
+                            self._stats.roster_peak = len(self._active)
                 elif kind == self._HOP:
                     self._forward(payload, now)
         finally:
+            # Popped count, without a per-event increment: everything that
+            # entered the heap (same-tick joins were pre-counted in
+            # ``_push``) minus whatever an exception left behind.
             self._dispatching = False
             if live:
                 # A handler raised mid-tick.  The old global heap kept the
@@ -464,12 +567,20 @@ class TopologyNetwork:
                 # tick so a caller that catches the error and resumes does
                 # not silently lose in-flight deliveries and ACKs.
                 self._calendar.setdefault(self._tick + 1, []).extend(live)
+                entered -= len(live)
+            self._stats.executed += entered
             self._live = []
 
     def _deactivate(self, flow_id: int) -> None:
         index = bisect_left(self._active, flow_id)
         if index < len(self._active) and self._active[index] == flow_id:
             del self._active[index]
+            if self._sink is not None:
+                flow = self.flows[flow_id]
+                self._sink.emit({
+                    "time": self.now, "event": "flow_finish",
+                    "flow_id": flow_id, "flow": flow.name,
+                    "fct": flow.fct})
 
     def _deliver(self, chunk: Chunk, now: float) -> None:
         """Chunk reaches the receiver; generate the acknowledgement."""
@@ -478,6 +589,12 @@ class TopologyNetwork:
                   sent_time=chunk.sent_time, queue_delay=chunk.queue_delay,
                   delivered_time=now)
         self.recorder.on_delivery(flow, chunk, now)
+        if self._sink is not None:
+            self._sink.emit({
+                "time": now, "event": "delivery",
+                "flow_id": chunk.flow_id, "flow": flow.name,
+                "bytes": chunk.size, "seq": chunk.seq,
+                "queue_delay": chunk.queue_delay})
         self._push(now + flow.delay_ack, self._ACK, ack)
 
     def _forward(self, chunk: Chunk, now: float) -> None:
@@ -488,13 +605,29 @@ class TopologyNetwork:
         drops.  ``queue_delay`` keeps accumulating across hops because
         every link adds its own waiting time to the same chunk field.
         """
+        sink = self._sink
         route = self._routes[chunk.flow_id]
-        drops = self._links[route[chunk.hop]].enqueue(chunk, now)
+        link = self._links[route[chunk.hop]]
+        if sink is not None:
+            sink.emit({
+                "time": now, "event": "hop",
+                "flow_id": chunk.flow_id,
+                "flow": self.flows[chunk.flow_id].name,
+                "link": link.name, "hop": chunk.hop,
+                "bytes": chunk.size, "seq": chunk.seq})
+        drops = link.enqueue(chunk, now)
         if drops:
             flow = self.flows[chunk.flow_id]
             feedback_delay = self._loss_feedback_delay(route, chunk.hop, flow)
             for drop in drops:
                 self._push(now + feedback_delay, self._LOSS, drop)
+            if sink is not None:
+                for drop in drops:
+                    sink.emit({
+                        "time": now, "event": "drop",
+                        "flow_id": drop.flow_id, "flow": flow.name,
+                        "link": link.name, "hop": chunk.hop,
+                        "bytes": drop.lost_bytes})
 
     def _loss_feedback_delay(self, route: Tuple[int, ...], hop: int,
                              flow: Flow) -> float:
@@ -521,6 +654,7 @@ class TopologyNetwork:
         if not active:
             return
         entry_links = self._entry_links
+        sink = self._sink
         start = int(round(now / self.dt)) % len(self.flows)
         pivot = bisect_left(active, start)
         stale = None
@@ -536,12 +670,29 @@ class TopologyNetwork:
             chunk = flow.emit(now, self.dt)
             if chunk is None:
                 continue
-            drops = entry_links[flow_id].enqueue(chunk, now)
+            link = entry_links[flow_id]
+            if sink is not None:
+                # Before admission: ``enqueue`` records the offered bytes
+                # (the policy may trim ``chunk.size`` down to the admitted
+                # remainder, which the paired ``drop`` event accounts for).
+                sink.emit({
+                    "time": now, "event": "enqueue",
+                    "flow_id": flow_id, "flow": flow.name,
+                    "link": link.name, "hop": 0,
+                    "bytes": chunk.size, "seq": chunk.seq})
+            drops = link.enqueue(chunk, now)
             if drops:
                 feedback_delay = self._loss_feedback_delay(
                     self._routes[flow_id], 0, flow)
                 for drop in drops:
                     self._push(now + feedback_delay, self._LOSS, drop)
+                if sink is not None:
+                    for drop in drops:
+                        sink.emit({
+                            "time": now, "event": "drop",
+                            "flow_id": drop.flow_id, "flow": flow.name,
+                            "link": link.name, "hop": 0,
+                            "bytes": drop.lost_bytes})
         if stale is not None:
             for flow_id in stale:
                 self._deactivate(flow_id)
@@ -563,6 +714,84 @@ class TopologyNetwork:
                 else:
                     chunk.hop += 1
                     self._push(now + delay, self._HOP, chunk)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def trace_sink(self) -> Optional[TraceSink]:
+        """The attached trace sink, if any."""
+        return self._sink
+
+    def set_trace_sink(self, sink: Optional[TraceSink]) -> None:
+        """Attach (or with ``None`` detach) a structured-event trace sink."""
+        self._sink = sink
+
+    def _trace_modes(self, now: float) -> None:
+        """Emit ``mode_change`` events for mode-switching flows.
+
+        Polled once per tick (trace-enabled runs only), so a switch is
+        recorded within one tick of the estimator flipping it.  The first
+        observation of a flow's mode is emitted with ``from_mode: null``,
+        recording the starting mode.
+        """
+        sink = self._sink
+        flows = self.flows
+        modes = self._last_modes
+        for flow_id in self._active:
+            mode = getattr(flows[flow_id].cc, "mode", None)
+            if mode is not None and mode != modes.get(flow_id):
+                previous = modes.get(flow_id)
+                modes[flow_id] = mode
+                sink.emit({
+                    "time": now, "event": "mode_change",
+                    "flow_id": flow_id, "flow": flows[flow_id].name,
+                    "mode": mode, "from_mode": previous})
+
+    def engine_stats(self) -> Dict[str, float]:
+        """Counters exposing the calendar-queue engine's internals.
+
+        The bundle satisfies the event conservation law
+        ``events_scheduled == events_executed + events_pending`` at any
+        point between ticks: every scheduled event is either already
+        dispatched or still filed in the calendar, the spill heap, or the
+        live heap of an interrupted tick.
+        """
+        pending = sum(map(len, self._calendar.values())) \
+            + len(self._spill) + len(self._live)
+        return {
+            "ticks": self._tick,
+            "now": self.now,
+            "events_scheduled": self._counter,
+            "events_executed": self._stats.executed,
+            "events_pending": pending,
+            "calendar_buckets": len(self._calendar),
+            "calendar_buckets_created": self._stats.buckets_created,
+            "spill_pending": len(self._spill),
+            "spill_peak": self._stats.spill_peak,
+            "roster_size": len(self._active),
+            "roster_peak": self._stats.roster_peak,
+            "flows": len(self.flows),
+        }
+
+    def audit_conservation(self) -> None:
+        """Re-check the per-hop conservation law on every link.
+
+        ``total_offered == total_served + queue_bytes + total_drops`` must
+        hold at each hop up to float-summation residue.  Runs every
+        ``REPRO_AUDIT`` ticks when that mode is on; raises
+        :class:`AuditError` naming the first violating link.
+        """
+        for link in self._links:
+            balance = link.total_served + link.queue_bytes + link.total_drops
+            residue = abs(link.total_offered - balance)
+            if residue > 1e-6 + 1e-10 * link.total_offered:
+                raise AuditError(
+                    f"conservation violated at link {link.name!r} "
+                    f"(t={self.now:.6f}): offered={link.total_offered!r} != "
+                    f"served={link.total_served!r} + "
+                    f"queued={link.queue_bytes!r} + "
+                    f"dropped={link.total_drops!r} (residue {residue:.3g})")
 
     # ------------------------------------------------------------------ #
     # Queries used by experiments

@@ -6,6 +6,13 @@ for the same series the paper plots: per-flow throughput over time,
 per-packet queueing delay, the bottleneck queue delay, and the operating
 mode of mode-switching algorithms (Nimbus, Copa).
 
+Beyond the monitor link's legacy series, every link of a multi-hop
+:class:`~repro.simulator.topology.Topology` gets its own per-bin time
+series — mean queueing delay, served throughput, drop rate, and queue
+occupancy — sampled from the links' own byte counters, so a parking-lot
+experiment can ask *which* hop queued or dropped, not just whether the
+monitor hop did (``link_queue_delay_series("hop2")`` and friends).
+
 Bins are stored as growable lists indexed by bin number rather than
 dict-of-bin mappings: simulation time only moves forward, so the bin index
 is nondecreasing and appending amortises to O(1) without the per-sample
@@ -26,6 +33,7 @@ from .units import bytes_per_sec_to_mbps
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .endpoint import Flow
     from .engine import Network
+    from .link import BottleneckLink
     from .packet import Chunk
 
 
@@ -52,6 +60,34 @@ class _FlowRecord:
         self.mode_by_bin: Dict[int, str] = {}
 
 
+class _LinkRecord:
+    """Per-link accumulation buckets: occupancy, served and dropped bytes.
+
+    The per-tick cost is one ``occ_acc += link.queue_bytes`` (zero for a
+    single-link network, where the monitor queue-delay sum already carries
+    the occupancy); everything else — flushing the occupancy sum and
+    differencing the link's own monotone ``total_served`` /
+    ``total_drops`` counters — happens once per bin boundary (every
+    ``bin_width / dt`` ticks), so sampling every link of a topology stays
+    off the engine's hot path.
+    """
+
+    __slots__ = ("link", "occ_acc", "occ_by_bin", "served_by_bin",
+                 "dropped_by_bin", "prev_served", "prev_drops")
+
+    def __init__(self, link: "BottleneckLink") -> None:
+        self.link = link
+        #: Occupancy sum of the bin currently accumulating.
+        self.occ_acc = 0.0
+        #: Flushed per-bin values for bins ``0 .. Recorder._link_bin - 1``.
+        self.occ_by_bin: List[float] = []
+        self.served_by_bin: List[float] = []
+        self.dropped_by_bin: List[float] = []
+        #: Counter readings at the last flush (start of the current bin).
+        self.prev_served = 0.0
+        self.prev_drops = 0.0
+
+
 class Recorder:
     """Bins deliveries and queue observations into fixed-width intervals."""
 
@@ -65,6 +101,27 @@ class Recorder:
         self._link_qdelay_sum: List[float] = []
         self._link_qdelay_cnt: List[int] = []
         self._max_bin = 0
+        # One record per topology link, in attachment order.  The engine
+        # constructs its recorder after wiring the topology, so the link
+        # set is fixed here; a bare single-link network records its one
+        # bottleneck.  Tick counts per bin are shared with the monitor
+        # series (every link is sampled on the same ticks).
+        topology = getattr(network, "topology", None)
+        links = topology.links if topology is not None else [network.link]
+        self._link_records = [_LinkRecord(link) for link in links]
+        self._link_index: Dict[str, _LinkRecord] = {
+            record.link.name: record for record in self._link_records}
+        #: The bin the link records are currently accumulating into.
+        self._link_bin = 0
+        #: Single-link fast path: when the only link is the monitor link,
+        #: its occupancy is already captured by the per-tick queue-delay
+        #: sum (``queue_delay == queue_bytes / capacity``), so the bin
+        #: occupancy can be derived at read time and ``on_tick`` does no
+        #: extra per-link work at all.
+        self._solo_record = (self._link_records[0]
+                             if len(self._link_records) == 1
+                             and self._link_records[0].link
+                             is getattr(network, "link", None) else None)
 
     # ------------------------------------------------------------------ #
     # Hooks called by the engine
@@ -93,12 +150,21 @@ class Recorder:
     def on_tick(self, now: float) -> None:
         b = self._bin(now)
         if b >= len(self._link_qdelay_sum):
+            # Ticks advance monotonically and only this hook grows the
+            # per-tick bins, so this branch fires exactly on the first
+            # tick of every new bin — the one moment the link records
+            # need their accumulating bin closed.
             _grow(self._link_qdelay_sum, b, 0.0)
             _grow(self._link_qdelay_cnt, b, 0)
+            if b != self._link_bin:
+                self._flush_link_bins(b)
         self._link_qdelay_sum[b] += self.network.link.queue_delay
         self._link_qdelay_cnt[b] += 1
         if b > self._max_bin:
             self._max_bin = b
+        if self._solo_record is None:
+            for record in self._link_records:
+                record.occ_acc += record.link.queue_bytes
         # The engine's roster lists active flows in flow-id order — the
         # same order a scan over every flow ever created would visit them.
         flows = self.network.flows
@@ -156,17 +222,51 @@ class Recorder:
             mean = np.where(bsum > 0, dsum / np.maximum(bsum, 1e-12), 0.0)
         return self.times(), mean * 1e3
 
-    def link_queue_delay_series(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(times, ms) average bottleneck queueing delay per bin."""
-        nbins = self._max_bin + 1
-        series = np.zeros(nbins)
-        qdelay_sum = self._link_qdelay_sum
-        qdelay_cnt = self._link_qdelay_cnt
-        for b in range(min(nbins, len(qdelay_cnt))):
-            cnt = qdelay_cnt[b]
-            if cnt:
-                series[b] = qdelay_sum[b] / cnt
-        return self.times(), series * 1e3
+    def link_queue_delay_series(self, link_name: Optional[str] = None
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, ms) average queueing delay per bin of one link.
+
+        With no argument this is the monitor link's legacy series (sampled
+        from ``queue_delay`` directly — numerically identical to the
+        historical recorder); naming any topology link answers from that
+        link's occupancy record instead.
+        """
+        if link_name is None:
+            nbins = self._max_bin + 1
+            series = np.zeros(nbins)
+            qdelay_sum = self._link_qdelay_sum
+            qdelay_cnt = self._link_qdelay_cnt
+            for b in range(min(nbins, len(qdelay_cnt))):
+                cnt = qdelay_cnt[b]
+                if cnt:
+                    series[b] = qdelay_sum[b] / cnt
+            return self.times(), series * 1e3
+        record = self._link_record(link_name)
+        occ, _, _ = self._link_bins(record)
+        times, occupancy = self._per_tick_mean(occ)
+        return times, occupancy / record.link.capacity * 1e3
+
+    def link_names(self) -> List[str]:
+        """Names of the links this recorder samples, in attachment order."""
+        return [record.link.name for record in self._link_records]
+
+    def link_occupancy_series(self, link_name: str
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, bytes) mean queued bytes per bin at the named link."""
+        occ, _, _ = self._link_bins(self._link_record(link_name))
+        return self._per_tick_mean(occ)
+
+    def link_throughput_series(self, link_name: str
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) bytes served per bin by the named link."""
+        _, served, _ = self._link_bins(self._link_record(link_name))
+        return self._per_bin_rate(served)
+
+    def link_drop_series(self, link_name: str
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) bytes dropped per bin at the named link."""
+        _, _, dropped = self._link_bins(self._link_record(link_name))
+        return self._per_bin_rate(dropped)
 
     def mode_series(self, name: Optional[str] = None,
                     flow_id: Optional[int] = None
@@ -225,6 +325,91 @@ class Recorder:
     def _bin(self, now: float) -> int:
         # int() truncation == floor for the engine's non-negative clock.
         return int(now / self.bin_width)
+
+    def _link_record(self, link_name: str) -> _LinkRecord:
+        record = self._link_index.get(link_name)
+        if record is None:
+            raise KeyError(f"no recorded link named {link_name!r}; "
+                           f"known: {self.link_names()}")
+        return record
+
+    def _flush_link_bins(self, b: int) -> None:
+        """Close the accumulating link bin and advance to bin ``b``.
+
+        Appends each record's occupancy sum and the served/dropped byte
+        deltas since the previous flush, then pads zeros for any bins no
+        tick landed in (only possible when ``bin_width < dt``).
+        """
+        gap = b - self._link_bin - 1
+        for record in self._link_records:
+            link = record.link
+            record.occ_by_bin.append(record.occ_acc)
+            record.occ_acc = 0.0
+            served = link.total_served
+            record.served_by_bin.append(served - record.prev_served)
+            record.prev_served = served
+            drops = link.total_drops
+            record.dropped_by_bin.append(drops - record.prev_drops)
+            record.prev_drops = drops
+            if gap > 0:
+                record.occ_by_bin.extend([0.0] * gap)
+                record.served_by_bin.extend([0.0] * gap)
+                record.dropped_by_bin.extend([0.0] * gap)
+        self._link_bin = b
+
+    def _link_bins(self, record: _LinkRecord
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(occupancy sums, served bytes, dropped bytes) per bin.
+
+        Flushed bins come from the record's lists; the still-accumulating
+        bin is read live (occupancy accumulator plus the counter deltas
+        since the last flush), so series are current mid-run without
+        mutating the record.
+        """
+        n = self._max_bin + 1
+        occ = np.zeros(n)
+        served = np.zeros(n)
+        dropped = np.zeros(n)
+        flushed = min(len(record.served_by_bin), n)
+        served[:flushed] = record.served_by_bin[:flushed]
+        dropped[:flushed] = record.dropped_by_bin[:flushed]
+        current = self._link_bin
+        if current < n:
+            link = record.link
+            served[current] += link.total_served - record.prev_served
+            dropped[current] += link.total_drops - record.prev_drops
+        if record is self._solo_record:
+            # Fast path: the lone link is the monitor link, whose per-tick
+            # queue-delay sum is ``queue_bytes / capacity`` — scale back up
+            # instead of accumulating occupancy a second time.
+            sums = self._link_qdelay_sum
+            m = min(len(sums), n)
+            if m:
+                occ[:m] = (np.asarray(sums[:m], dtype=float)
+                           * record.link.capacity)
+        else:
+            occ[:flushed] = record.occ_by_bin[:flushed]
+            if current < n:
+                occ[current] += record.occ_acc
+        return occ, served, dropped
+
+    def _per_tick_mean(self, sums: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bin mean of a tick-accumulated sum (tick counts are shared
+        across links: every link is sampled on every tick)."""
+        series = np.zeros(len(sums))
+        counts = self._link_qdelay_cnt
+        m = min(len(sums), len(counts))
+        if m:
+            cnt = np.asarray(counts[:m], dtype=float)
+            series[:m] = np.divide(sums[:m], cnt, out=np.zeros(m),
+                                   where=cnt > 0)
+        return self.times(), series
+
+    def _per_bin_rate(self, by_bin: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bin byte totals as an Mbit/s rate series."""
+        return self.times(), bytes_per_sec_to_mbps(by_bin / self.bin_width)
 
     def _select(self, name: Optional[str], flow_id: Optional[int]) -> List[int]:
         if flow_id is not None:

@@ -3,6 +3,7 @@
 import importlib.util
 import json
 import pathlib
+import re
 
 import pytest
 
@@ -39,7 +40,11 @@ class TestCheckAgainstBaseline:
         code = perf_engine.check_against_baseline(
             {"cruise": _stats(1.5)}, str(baseline), threshold=2.0)
         assert code == 0
-        assert "OK" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "OK" in out
+        # Per-scenario ratio lines plus a one-line success summary.
+        assert "1.50x" in out
+        assert "perf check OK: 1 scenario(s)" in out
 
     def test_regression_fails(self, tmp_path, capsys):
         baseline = tmp_path / "base.json"
@@ -76,7 +81,12 @@ class TestReport:
         on_disk = json.loads(out.read_text())
         assert on_disk == report
         assert on_disk["schema"] == perf_engine.SCHEMA
+        assert on_disk["schema_version"] == perf_engine.SCHEMA
         assert on_disk["bench"] == "engine"
+        assert "git_commit" in on_disk
+        commit = on_disk["git_commit"]
+        assert commit is None or re.fullmatch(r"[0-9a-f]{40}(-dirty)?",
+                                              commit)
         assert set(on_disk["scenarios"]) == {"cruise"}
         stats = on_disk["scenarios"]["cruise"]
         assert {"seconds", "sim_seconds", "dt", "ticks",

@@ -79,3 +79,68 @@ def test_mean_throughput_window(recorded_run):
 
 def test_mean_throughput_unknown_flow(recorded_run):
     assert recorded_run.recorder.mean_throughput("missing") == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Per-link series over a multi-hop topology
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def multihop_run():
+    from repro.runtime import LinkSpec, make_multihop_network
+    network = make_multihop_network(
+        (LinkSpec("hop1", 18.0, delay_ms=5.0, buffer_ms=100.0),
+         LinkSpec("hop2", 12.0, delay_ms=5.0, buffer_ms=100.0)),
+        dt=0.002, seed=0, monitor="hop2")
+    network.add_flow(Flow(cc=Cubic(), prop_rtt=0.05, name="main"))
+    network.run(15.0)
+    return network
+
+
+def test_link_names_in_attachment_order(multihop_run):
+    assert multihop_run.recorder.link_names() == ["hop1", "hop2"]
+
+
+def test_named_monitor_series_matches_legacy(multihop_run):
+    rec = multihop_run.recorder
+    times_legacy, legacy = rec.link_queue_delay_series()
+    times_named, named = rec.link_queue_delay_series("hop2")
+    assert np.array_equal(times_legacy, times_named)
+    assert np.allclose(legacy, named)
+
+
+def test_per_hop_throughput_converges_to_bottleneck(multihop_run):
+    rec = multihop_run.recorder
+    _, tput = rec.link_throughput_series("hop2")
+    assert float(np.mean(tput[len(tput) // 3:])) == pytest.approx(12.0,
+                                                                  rel=0.15)
+
+
+def test_upstream_hop_sees_at_least_bottleneck_rate(multihop_run):
+    rec = multihop_run.recorder
+    _, up = rec.link_throughput_series("hop1")
+    _, down = rec.link_throughput_series("hop2")
+    settled = slice(len(up) // 3, None)
+    assert float(np.mean(up[settled])) >= float(np.mean(down[settled])) - 1.0
+
+
+def test_link_occupancy_and_drops_nonnegative(multihop_run):
+    rec = multihop_run.recorder
+    for name in rec.link_names():
+        _, occ = rec.link_occupancy_series(name)
+        _, drops = rec.link_drop_series(name)
+        assert np.all(occ >= 0)
+        assert np.all(drops >= 0)
+
+
+def test_uncongested_hop_records_no_queueing(multihop_run):
+    # hop1 runs 50% faster than the bottleneck: its queue stays shallow
+    # compared to hop2's standing queue.
+    rec = multihop_run.recorder
+    _, q1 = rec.link_queue_delay_series("hop1")
+    _, q2 = rec.link_queue_delay_series("hop2")
+    assert float(np.mean(q1)) < float(np.mean(q2))
+
+
+def test_unknown_link_raises_with_known_names(multihop_run):
+    with pytest.raises(KeyError, match="hop1"):
+        multihop_run.recorder.link_queue_delay_series("nope")
