@@ -67,15 +67,17 @@ def trace_summary(records: Iterable[dict]) -> Dict[str, Counter]:
     """Event counts overall, per flow, and per link.
 
     Returns a dict with three counters: ``events`` (by event kind),
-    ``flows`` (events per flow label), and ``links`` (link-located events
-    — enqueue / hop / drop — per link name).
+    ``flows`` (events per flow label — fault events carry none and are
+    counted only under ``events``/``links``), and ``links`` (link-located
+    events per link name).
     """
     events: Counter = Counter()
     flows: Counter = Counter()
     links: Counter = Counter()
     for record in records:
         events[record["event"]] += 1
-        flows[record["flow"]] += 1
+        if "flow" in record:
+            flows[record["flow"]] += 1
         if record["event"] in LINK_KINDS:
             links[record["link"]] += 1
     return {"events": events, "flows": flows, "links": links}
@@ -97,6 +99,8 @@ def metrics_summary(records: Iterable[dict]) -> Dict[str, Optional[float]]:
         "misses": sum(r["cache"] == "miss" for r in records),
         "executed": len(executed),
         "deduped": sum(r["dedup"] for r in records),
+        "failures": sum(r.get("outcome", "ok") != "ok" for r in records),
+        "retried": sum(r.get("attempts", 0) > 1 for r in records),
         "workers": len(workers),
         "total_seconds": sum(seconds) if seconds else 0.0,
         "mean_ticks_per_sec": (sum(rates) / len(rates)) if rates else None,

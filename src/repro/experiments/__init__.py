@@ -30,7 +30,9 @@ from . import (
     fig25_multifactor,
     fig26_vivace_pulse,
     internet_paths,
+    link_flap,
     parking_lot,
+    selftest,
     table1_classification,
 )
 from .common import (
@@ -72,7 +74,9 @@ EXPERIMENT_INDEX = {
     "fig25": fig25_multifactor,
     "fig26": fig26_vivace_pulse,
     "appE": appE_buffer_aqm,
+    "link_flap": link_flap,
     "parking_lot": parking_lot,
+    "selftest": selftest,
     "table1": table1_classification,
 }
 

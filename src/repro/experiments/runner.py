@@ -25,6 +25,17 @@ Observability flags: ``--metrics PATH`` appends one JSONL record per spec
 events to a JSONL file (see :mod:`repro.simulator.telemetry`).  Tracing
 forces a cold, serial run: a cache hit would simulate nothing (and emit no
 events), and pool workers appending to one file would interleave lines.
+
+Robustness flags: any of ``--timeout SECONDS`` (per-spec deadline),
+``--max-retries N`` (bounded retry with exponential backoff), or
+``--resume`` switches the batch onto the hardened executor — every miss
+runs crash-isolated, a raising/hanging spec becomes a structured failure
+printed after the healthy results instead of killing the batch, and each
+spec's terminal state is journalled (``--journal PATH`` overrides the
+content-addressed default under the cache directory).  ``--resume`` keeps
+the previous journal and, with the cache enabled, re-attempts only the
+failed or never-completed specs.  Exit code 3 means the batch finished
+but some specs failed.
 """
 
 from __future__ import annotations
@@ -36,7 +47,14 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
-from ..runtime import BatchExecutor, ResultCache, ScenarioSpec
+from ..runtime import (
+    BatchExecutor,
+    ResultCache,
+    ScenarioSpec,
+    SpecFailure,
+    batch_id,
+    default_journal_path,
+)
 from ..runtime.spec import expand_grid
 from . import EXPERIMENT_INDEX
 from .common import ExperimentResult
@@ -113,15 +131,22 @@ def _describe(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _describe_failure(failure: SpecFailure) -> str:
+    """Render a structured spec failure for the terminal."""
+    return (f"FAILED: {failure.label} ({failure.fn}) — {failure.outcome} "
+            f"after {failure.attempts} attempt(s)\n  {failure.summary}")
+
+
 def _print_profile(stats, wall: float) -> None:
     """Render per-scenario wall times and cache accounting for --profile."""
     print("--- profile ---")
     for label, seconds in stats.timings:
         status = "cached" if seconds is None else f"{seconds:8.2f}s"
         print(f"{label:<40} {status}")
+    failed = f", {stats.failed} failed" if stats.failed else ""
     print(f"batch: {len(stats.timings)} spec(s) in {wall:.2f}s — "
           f"{stats.hits} cache hit(s), {stats.misses} miss(es), "
-          f"{stats.executed} executed")
+          f"{stats.executed} executed{failed}")
 
 
 def _accepts_kwarg(fn, name: str) -> bool:
@@ -171,6 +196,23 @@ def main(argv: List[str] | None = None) -> int:
                              "trace at PATH (forces a cold, serial run; "
                              "filters via REPRO_TRACE_FLOWS/LINKS/EVENTS/"
                              "SAMPLE)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="Per-spec wall-clock deadline; a spec still "
+                             "running is terminated and recorded as a "
+                             "failure (enables the hardened executor)")
+    parser.add_argument("--max-retries", type=int, default=0, metavar="N",
+                        help="Retry a failed/timed-out/crashed spec up to "
+                             "N extra times with exponential backoff "
+                             "(enables the hardened executor)")
+    parser.add_argument("--resume", action="store_true",
+                        help="Keep the batch journal from a previous "
+                             "(interrupted or failed) run and re-attempt "
+                             "only failed or incomplete specs")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="Batch journal location (default: derived "
+                             "from the batch content, under the cache "
+                             "directory)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -229,14 +271,25 @@ def main(argv: List[str] | None = None) -> int:
                 print(f"{label} {path}: {error}", file=sys.stderr)
                 return 2
 
+    robust = (args.timeout is not None or args.max_retries > 0
+              or args.resume or args.journal is not None)
+    hardened: Dict[str, object] = {}
+    if robust:
+        journal_path = args.journal or default_journal_path(
+            batch_id([spec.spec_hash() for spec in specs]))
+        hardened = dict(timeout=args.timeout,
+                        max_retries=max(0, args.max_retries),
+                        on_error="record", journal_path=journal_path,
+                        resume=args.resume)
+        print(f"journal: {journal_path}")
     if args.trace:
         # A warm cache would simulate nothing (no events to trace), and
         # parallel workers appending to one JSONL file would interleave
         # partial lines — so tracing runs cold and serial.
         executor = BatchExecutor(workers=1, cache=ResultCache(enabled=False),
-                                 metrics_path=args.metrics)
+                                 metrics_path=args.metrics, **hardened)
     else:
-        executor = BatchExecutor(metrics_path=args.metrics)
+        executor = BatchExecutor(metrics_path=args.metrics, **hardened)
     begin = time.perf_counter()
     if args.trace:
         # The engine reads REPRO_TRACE at construction time, deep inside
@@ -261,12 +314,21 @@ def main(argv: List[str] | None = None) -> int:
     else:
         results = executor.run(specs)
     wall = time.perf_counter() - begin
+    failures: List[SpecFailure] = []
     for spec, result in zip(specs, results):
         if sweep_mode:
             print(f"--- {experiment_id} [{_sweep_row_label(spec, axes)}] ---")
-        print(_describe(result))
+        if isinstance(result, SpecFailure):
+            failures.append(result)
+            print(_describe_failure(result))
+        else:
+            print(_describe(result))
     if args.profile:
         _print_profile(executor.last_stats, wall)
+    if failures:
+        print(f"{len(failures)} of {len(specs)} spec(s) failed; "
+              f"re-attempt them with --resume", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -1,0 +1,88 @@
+"""Deliberate-failure driver exercising the hardened batch executor.
+
+Not a paper artefact: a microscopic driver whose failure modes are part
+of its parameter space, so the executor's crash isolation, timeout, and
+retry machinery can be exercised from the runner command line and from
+CI without a purpose-built harness::
+
+    python -m repro.experiments.runner sweep selftest \\
+        --set crash=0,1 --set seed=1,2 --timeout 30
+
+``crash=1`` raises after the work, ``sleep=N`` stalls for N wall seconds
+(pair with ``--timeout``), and the default parameters complete in
+microseconds with a deterministic payload — so a chaos batch mixes
+healthy and failing specs at will, and the healthy results still land in
+the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from .common import ExperimentResult
+
+
+def run(duration: float = 0.25, dt: float = 0.004, seed: int = 0,
+        crash: int = 0, sleep: float = 0.0,
+        scale: float = 1.0) -> ExperimentResult:
+    """Deterministic pseudo-experiment with opt-in failure modes.
+
+    Args:
+        duration / dt: Sample count, mimicking a real driver's axes.
+        seed: Random seed for the payload.
+        crash: Raise ``RuntimeError`` (after doing the work) when truthy.
+        sleep: Stall this many wall-clock seconds before finishing —
+            a timing-out spec under a per-spec deadline.
+        scale: Multiplier on the payload samples.
+    """
+    rng = random.Random((seed, duration, dt, scale).__repr__())
+    samples = [rng.random() * scale
+               for _ in range(max(1, int(duration / dt)))]
+    if sleep > 0:
+        time.sleep(sleep)
+    if crash:
+        raise RuntimeError(
+            f"selftest: deliberate crash (crash={crash}, seed={seed})")
+    result = ExperimentResult(
+        name="selftest", parameters=dict(duration=duration, dt=dt,
+                                         seed=seed, crash=int(crash),
+                                         sleep=sleep, scale=scale))
+    result.data["mean"] = sum(samples) / len(samples)
+    result.data["n"] = len(samples)
+    return result
+
+
+def flaky_run(marker: str, fail_times: int = 1, duration: float = 0.25,
+              dt: float = 0.004, seed: int = 0) -> ExperimentResult:
+    """Fail the first ``fail_times`` executions, then succeed.
+
+    The attempt counter lives in the ``marker`` file, so it survives
+    process boundaries — exactly what a retry-then-succeed test of the
+    hardened executor needs.  Not reachable from the runner (the marker
+    is a string); tests and API users build specs against it directly.
+    """
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker, "r", encoding="ascii") as handle:
+            attempts = int(handle.read().strip() or 0)
+    attempts += 1
+    with open(marker, "w", encoding="ascii") as handle:
+        handle.write(str(attempts))
+    if attempts <= fail_times:
+        raise RuntimeError(f"selftest: transient failure "
+                           f"{attempts}/{fail_times}")
+    result = run(duration=duration, dt=dt, seed=seed)
+    result.data["attempts"] = attempts
+    return result
+
+
+def hard_exit(duration: float = 0.25, dt: float = 0.004, seed: int = 0,
+              code: int = 17) -> ExperimentResult:
+    """Kill the interpreter outright — a worker-death (not raise) crash.
+
+    Only ever run this under the hardened executor: in-process execution
+    would take the caller down with it (that being the point).
+    """
+    os._exit(int(code))

@@ -22,7 +22,10 @@ drivers import the runtime, not the reverse.
 """
 
 from .build import (
+    FaultSpec,
     LinkSpec,
+    flap_fault_specs,
+    make_fault_schedule,
     make_multihop_network,
     make_network,
     make_scheme,
@@ -32,13 +35,22 @@ from .cache import ResultCache, cache_enabled, default_cache_dir, source_digest
 from .executor import (
     BatchExecutor,
     BatchStats,
+    SpecExecutionError,
+    SpecFailure,
     configured_workers,
     execute_spec,
     run_batch,
     run_scenario,
 )
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    BatchJournal,
+    batch_id,
+    default_journal_path,
+)
 from .metrics import (
     METRICS_SCHEMA_VERSION,
+    OUTCOMES,
     metrics_record,
     validate_metrics_record,
     write_metrics,
@@ -47,15 +59,25 @@ from .spec import ScenarioSpec
 
 __all__ = [
     "BatchExecutor",
+    "BatchJournal",
     "BatchStats",
+    "FaultSpec",
+    "JOURNAL_SCHEMA_VERSION",
     "LinkSpec",
     "METRICS_SCHEMA_VERSION",
+    "OUTCOMES",
     "ResultCache",
     "ScenarioSpec",
+    "SpecExecutionError",
+    "SpecFailure",
+    "batch_id",
     "cache_enabled",
     "configured_workers",
     "default_cache_dir",
+    "default_journal_path",
     "execute_spec",
+    "flap_fault_specs",
+    "make_fault_schedule",
     "make_multihop_network",
     "make_network",
     "make_scheme",

@@ -27,6 +27,8 @@ from ..core.nimbus import Nimbus
 from ..simulator import (
     BottleneckLink,
     DropTail,
+    FaultEvent,
+    FaultSchedule,
     Network,
     Pie,
     Topology,
@@ -60,6 +62,83 @@ class LinkSpec:
     delay_ms: float = 0.0
     buffer_ms: float = 100.0
     aqm_target_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of one fault window (driver units).
+
+    The :class:`LinkSpec` sibling for the chaos layer: a frozen dataclass
+    with init-only scalar fields, so a tuple of these canonicalises into a
+    :class:`~repro.runtime.spec.ScenarioSpec` and fault scenarios hash,
+    cache, and batch like any other.  Times are in seconds; ``delay_ms``
+    is in milliseconds to match :class:`LinkSpec`.
+
+    Attributes:
+        kind: ``capacity_dip``, ``link_flap``, ``delay_jitter``, or
+            ``burst_loss``.
+        link: Name of the target link.
+        start: Window start in simulation seconds.
+        duration: Window length in seconds.
+        factor: Capacity multiplier during a ``capacity_dip``.
+        drop_queued: ``link_flap`` queue policy — flush the queue and
+            blackhole arrivals instead of freezing and draining later.
+        delay_ms: Extra propagation delay for ``delay_jitter``.
+        loss_rate: Per-chunk drop probability for ``burst_loss``.
+    """
+
+    kind: str
+    link: str
+    start: float
+    duration: float
+    factor: float = 0.5
+    drop_queued: bool = False
+    delay_ms: float = 0.0
+    loss_rate: float = 0.0
+
+
+def make_fault_schedule(faults: Sequence[FaultSpec],
+                        seed: int = 0) -> FaultSchedule:
+    """Convert driver-unit :class:`FaultSpec` entries into a schedule."""
+    events = [FaultEvent(kind=spec.kind, link=spec.link, start=spec.start,
+                         duration=spec.duration, factor=spec.factor,
+                         drop_queued=bool(spec.drop_queued),
+                         delay=spec.delay_ms / 1e3,
+                         loss_rate=spec.loss_rate)
+              for spec in faults]
+    return FaultSchedule(events, seed=seed)
+
+
+def flap_fault_specs(link: str, period: float, duty: float, until: float,
+                     depth: float = 1.0, start: Optional[float] = None,
+                     drop_queued: bool = False) -> tuple:
+    """Periodic fault windows for a flapping link.
+
+    Each ``period`` the link degrades for ``duty * period`` seconds: fully
+    down (``link_flap``) when ``depth >= 1``, else a ``capacity_dip`` to
+    ``1 - depth`` of its rate.  The first window opens after one healthy
+    up-phase (or at ``start``); windows are generated while they begin
+    before ``until``.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 < duty < 1.0:
+        raise ValueError(f"duty must be in (0, 1), got {duty}")
+    if not 0.0 < depth <= 1.0:
+        raise ValueError(f"depth must be in (0, 1], got {depth}")
+    down = duty * period
+    first = (period - down) if start is None else start
+    faults = []
+    begin = first
+    while begin < until:
+        if depth >= 1.0:
+            faults.append(FaultSpec("link_flap", link, begin, down,
+                                    drop_queued=drop_queued))
+        else:
+            faults.append(FaultSpec("capacity_dip", link, begin, down,
+                                    factor=1.0 - depth))
+        begin += period
+    return tuple(faults)
 
 
 def _policy_for(mu: float, buffer_ms: float,
@@ -97,15 +176,23 @@ def make_topology(links: Sequence[LinkSpec],
 
 
 def make_multihop_network(links: Sequence[LinkSpec], dt: float = 0.002,
-                          seed: int = 0,
-                          monitor: Optional[str] = None) -> TopologyNetwork:
+                          seed: int = 0, monitor: Optional[str] = None,
+                          faults: Sequence[FaultSpec] = ()
+                          ) -> TopologyNetwork:
     """A :class:`TopologyNetwork` over the described chain of hops.
 
     The multi-hop sibling of :func:`make_network`: same defaults, same
-    seeding, but flows may traverse any path over the named links.
+    seeding, but flows may traverse any path over the named links.  Any
+    ``faults`` are armed on the fresh network (seeded from ``seed``); an
+    empty sequence leaves the engine untouched — bit-identical to a build
+    without the parameter.
     """
-    return TopologyNetwork(make_topology(links, monitor=monitor, seed=seed),
-                           dt=dt, seed=seed)
+    network = TopologyNetwork(make_topology(links, monitor=monitor,
+                                            seed=seed),
+                              dt=dt, seed=seed)
+    if faults:
+        make_fault_schedule(faults, seed=seed).apply(network)
+    return network
 
 
 def make_network(link_mbps: float, buffer_ms: float = 100.0,

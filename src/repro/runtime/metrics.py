@@ -30,6 +30,17 @@ Record schema (``schema_version`` = :data:`METRICS_SCHEMA_VERSION`):
     spec, else ``None`` — the tick count the driver will simulate.
 ``ticks_per_sec``
     ``ticks / seconds`` when both are known, else ``None``.
+``outcome``
+    How the spec ended: ``"ok"``, or — under the hardened executor — one
+    of ``"error"`` (the spec raised), ``"timeout"`` (exceeded the per-spec
+    deadline and was terminated), ``"crash"`` (the worker process died
+    without reporting).  Failures are never cached, so a failed spec is
+    always ``cache="miss"``.
+``attempts``
+    Execution attempts consumed, including retries; ``0`` for cache hits.
+
+Schema history: version 2 added ``outcome``/``attempts`` (records without
+them no longer validate).
 """
 
 from __future__ import annotations
@@ -40,19 +51,24 @@ from typing import IO, Iterable, Optional, Union
 from .spec import ScenarioSpec
 
 #: Version tag stamped into every record.
-METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 2
 
 #: Fields every record must carry (beyond these, extras are rejected).
 _FIELDS = ("schema_version", "spec_hash", "label", "fn", "cache", "dedup",
-           "seconds", "worker_pid", "ticks", "ticks_per_sec")
+           "seconds", "worker_pid", "ticks", "ticks_per_sec", "outcome",
+           "attempts")
 
 _CACHE_STATES = ("hit", "miss")
+
+#: Terminal states a spec execution can reach.
+OUTCOMES = ("ok", "error", "timeout", "crash")
 
 
 def metrics_record(spec: ScenarioSpec, *, cache: str,
                    seconds: Optional[float] = None,
                    worker_pid: Optional[int] = None,
-                   dedup: bool = False) -> dict:
+                   dedup: bool = False, outcome: str = "ok",
+                   attempts: Optional[int] = None) -> dict:
     """Build one schema-conformant record for ``spec``."""
     params = spec.kwargs()
     ticks: Optional[int] = None
@@ -75,6 +91,9 @@ def metrics_record(spec: ScenarioSpec, *, cache: str,
         "worker_pid": worker_pid,
         "ticks": ticks,
         "ticks_per_sec": ticks_per_sec,
+        "outcome": outcome,
+        "attempts": (0 if cache == "hit" else 1)
+        if attempts is None else attempts,
     }
     validate_metrics_record(record)
     return record
@@ -122,6 +141,18 @@ def validate_metrics_record(record: dict) -> None:
                                   and ticks >= 0):
         raise ValueError(f"ticks must be None or a non-negative int, "
                          f"got {ticks!r}")
+    outcome = record["outcome"]
+    if outcome not in OUTCOMES:
+        raise ValueError(f"outcome must be one of {OUTCOMES}, "
+                         f"got {outcome!r}")
+    attempts = record["attempts"]
+    if not (isinstance(attempts, int) and not isinstance(attempts, bool)
+            and attempts >= 0):
+        raise ValueError(f"attempts must be a non-negative int, "
+                         f"got {attempts!r}")
+    if record["cache"] == "hit" and (outcome != "ok" or attempts != 0):
+        raise ValueError("cache hits must report outcome='ok' and "
+                         "attempts=0 (failed specs are never cached)")
 
 
 def write_metrics(records: Iterable[dict],

@@ -9,6 +9,12 @@ general :class:`TopologyNetwork`).
 from .aqm import DropTail, Pie, QueuePolicy
 from .endpoint import Flow
 from .engine import Network
+from .faults import (
+    FAULT_EVENT_KINDS,
+    BurstLossPolicy,
+    FaultEvent,
+    FaultSchedule,
+)
 from .link import BottleneckLink
 from .measurement import FlowMeasurement, WindowedCounter
 from .packet import Ack, Chunk, FlowStats, LossEvent
@@ -40,9 +46,13 @@ __all__ = [
     "BackloggedSource",
     "BITS_PER_BYTE",
     "BottleneckLink",
+    "BurstLossPolicy",
     "Chunk",
     "DropTail",
     "EVENT_KINDS",
+    "FAULT_EVENT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
     "Flow",
     "FlowMeasurement",
     "FlowStats",

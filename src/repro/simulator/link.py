@@ -66,6 +66,12 @@ class BottleneckLink:
         #: Unused service capacity carried over between ticks (bytes).  The
         #: link is work-conserving: it never accumulates credit while idle.
         self._service_credit = 0.0
+        #: Fault state (see :mod:`repro.simulator.faults`).  A link that is
+        #: not ``up`` serves nothing; if it additionally refuses arrivals
+        #: (a "drop"-policy flap), offered bytes are counted and immediately
+        #: recorded as drops so the conservation law keeps holding.
+        self.up = True
+        self._refuse_arrivals = False
 
     # ------------------------------------------------------------------ #
     # Queue state
@@ -94,6 +100,10 @@ class BottleneckLink:
         """
         drops: list[DropRecord] = []
         self.total_offered += chunk.size
+        if not self.up and self._refuse_arrivals:
+            self.total_drops += chunk.size
+            drops.append(DropRecord(chunk.flow_id, chunk.size, now))
+            return drops
         admitted = self.policy.admit(chunk.size, self.queue_bytes,
                                      self.queue_delay, now)
         admitted = max(0.0, min(chunk.size, admitted))
@@ -121,6 +131,11 @@ class BottleneckLink:
         (end of the tick); with millisecond ticks the rounding is far below
         the delays of interest.
         """
+        if not self.up:
+            # A downed link serves nothing and banks no credit: service
+            # resumes from a clean slate when it comes back up.
+            self._service_credit = 0.0
+            return []
         budget = self.capacity * dt + self._service_credit
         served: list[Chunk] = []
         while self._queue and budget > 1e-9:
@@ -150,6 +165,56 @@ class BottleneckLink:
         if self.queue_bytes < 1e-9:
             self.queue_bytes = 0.0
         return served
+
+    # ------------------------------------------------------------------ #
+    # Fault hooks (driven by repro.simulator.faults)
+    # ------------------------------------------------------------------ #
+    def set_capacity(self, capacity: float) -> None:
+        """Change the drain rate in place (capacity-dip faults)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+
+    def take_down(self, refuse_arrivals: bool = False) -> None:
+        """Stop serving the queue until :meth:`bring_up`.
+
+        With ``refuse_arrivals`` every offered chunk while down is dropped
+        whole (blackhole); otherwise arrivals keep queueing under the normal
+        admission policy and drain once the link recovers.
+        """
+        self.up = False
+        self._refuse_arrivals = refuse_arrivals
+        self._service_credit = 0.0
+
+    def bring_up(self) -> None:
+        """Resume service; no credit is banked for the downtime."""
+        self.up = True
+        self._refuse_arrivals = False
+        self._service_credit = 0.0
+
+    def flush(self, now: float) -> list[DropRecord]:
+        """Drop every queued byte, one aggregated record per flow.
+
+        Used by "drop"-policy link flaps: the queue empties into drop
+        records (in head-to-tail order of first appearance) so the
+        conservation law ``offered == served + queued + drops`` still
+        holds exactly — queued bytes move to ``total_drops``.
+        """
+        if not self._queue:
+            return []
+        drops: list[DropRecord] = []
+        for flow_id, lost in self._flow_bytes.items():
+            if lost > 1e-9:
+                drops.append(DropRecord(flow_id, lost, now))
+        # Move the *maintained* byte counter, not the per-flow sum, so the
+        # conservation counters stay exact to the last float residue.
+        self.total_drops += self.queue_bytes
+        self.queue_bytes = 0.0
+        self._queue.clear()
+        self._flow_bytes.clear()
+        self._flow_chunks.clear()
+        self._service_credit = 0.0
+        return drops
 
     def iter_queue(self) -> Iterable[Chunk]:
         """Iterate over queued chunks from head to tail (read-only)."""

@@ -43,6 +43,14 @@ Per-kind payload fields:
     ``from_mode``.
 ``flow_finish``
     Flow completed: ``fct`` (flow completion time in seconds, or null).
+``fault_start`` / ``fault_end``
+    A scheduled fault toggled on a link (see
+    :mod:`repro.simulator.faults`): ``link``, ``fault`` (one of
+    ``capacity_dip``, ``link_flap``, ``delay_jitter``, ``burst_loss``),
+    plus kind-specific detail on ``fault_start`` (``factor``, ``delay``,
+    ``loss_rate``, ``drop_queued``, ``flushed_bytes``).  Fault events are
+    control-plane and carry no ``flow_id``/``flow`` — they describe the
+    network, not a flow.
 
 Sinks support three orthogonal reductions, applied in ``emit``:
 
@@ -81,14 +89,19 @@ EVENT_KINDS = frozenset({
     "loss",
     "mode_change",
     "flow_finish",
+    "fault_start",
+    "fault_end",
 })
+
+#: Link-fault lifecycle kinds — the only kinds without a flow envelope.
+FAULT_KINDS = frozenset({"fault_start", "fault_end"})
 
 #: High-volume data-plane kinds that 1-in-N sampling applies to.  Everything
 #: else (drops, losses, mode changes, flow lifecycle) is rare and always kept.
 SAMPLED_KINDS = frozenset({"enqueue", "hop", "delivery", "ack"})
 
 #: Kinds that carry a ``link`` field (and are subject to the link filter).
-LINK_KINDS = frozenset({"enqueue", "hop", "drop"})
+LINK_KINDS = frozenset({"enqueue", "hop", "drop", "fault_start", "fault_end"})
 
 #: Required payload fields per kind, beyond the common
 #: ``time``/``event``/``flow_id``/``flow`` envelope.
@@ -102,6 +115,8 @@ _REQUIRED_FIELDS = {
     "loss": ("bytes",),
     "mode_change": ("mode", "from_mode"),
     "flow_finish": ("fct",),
+    "fault_start": ("link", "fault"),
+    "fault_end": ("link", "fault"),
 }
 
 _NUMBER = (int, float)
@@ -120,17 +135,24 @@ def validate_trace_record(record: dict) -> None:
     if not isinstance(time, _NUMBER) or isinstance(time, bool) or time < 0:
         raise ValueError(f"trace record needs a non-negative numeric "
                          f"'time', got {time!r}")
-    if not isinstance(record.get("flow_id"), int):
-        raise ValueError(f"trace record needs an integer 'flow_id', "
-                         f"got {record.get('flow_id')!r}")
-    if not isinstance(record.get("flow"), str):
-        raise ValueError(f"trace record needs a string 'flow' label, "
-                         f"got {record.get('flow')!r}")
+    if kind in FAULT_KINDS:
+        fault = record.get("fault")
+        if not isinstance(fault, str):
+            raise ValueError(f"{kind} record needs a string 'fault' kind, "
+                             f"got {fault!r}")
+    else:
+        if not isinstance(record.get("flow_id"), int):
+            raise ValueError(f"trace record needs an integer 'flow_id', "
+                             f"got {record.get('flow_id')!r}")
+        if not isinstance(record.get("flow"), str):
+            raise ValueError(f"trace record needs a string 'flow' label, "
+                             f"got {record.get('flow')!r}")
     for name in _REQUIRED_FIELDS[kind]:
         if name not in record:
             raise ValueError(f"{kind} record is missing field {name!r}: "
                              f"{record}")
-    for name in ("bytes", "seq", "queue_delay", "rtt", "start"):
+    for name in ("bytes", "seq", "queue_delay", "rtt", "start",
+                 "factor", "delay", "loss_rate", "flushed_bytes"):
         if name in record and (not isinstance(record[name], _NUMBER)
                                or isinstance(record[name], bool)):
             raise ValueError(f"{kind} field {name!r} must be numeric, "
@@ -184,9 +206,11 @@ class TraceSink:
         kind = record["event"]
         if self.events is not None and kind not in self.events:
             return False
-        if self.flows is not None and \
+        if self.flows is not None and kind not in FAULT_KINDS and \
                 record["flow"] not in self.flows and \
                 record["flow_id"] not in self.flows:
+            # Fault events have no flow envelope: a flow filter never
+            # discards them (they are context for whichever flows remain).
             return False
         if self.links is not None and kind in LINK_KINDS and \
                 record["link"] not in self.links:

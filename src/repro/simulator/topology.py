@@ -403,6 +403,37 @@ class TopologyNetwork:
         """Run ``fn(now)`` at the given simulation time (>= now)."""
         self._push(max(time, self.now), self._CALL, fn)
 
+    def flush_link_queue(self, name: str) -> float:
+        """Drop every byte queued at the named link; returns bytes flushed.
+
+        Used by "drop"-policy link flaps (see
+        :mod:`repro.simulator.faults`).  Each affected flow gets one
+        aggregated loss-feedback event after the usual remaining-path-plus-
+        ACK delay, exactly like an admission drop at that hop, and one
+        ``drop`` trace event per flow is emitted.
+        """
+        position = self.topology.index_of(name)
+        link = self._links[position]
+        drops = link.flush(self.now)
+        if not drops:
+            return 0.0
+        sink = self._sink
+        flushed = 0.0
+        for drop in drops:
+            flushed += drop.lost_bytes
+            flow = self.flows[drop.flow_id]
+            route = self._routes[drop.flow_id]
+            hop = route.index(position)
+            feedback = self._loss_feedback_delay(route, hop, flow)
+            self._push(self.now + feedback, self._LOSS, drop)
+            if sink is not None:
+                sink.emit({
+                    "time": self.now, "event": "drop",
+                    "flow_id": drop.flow_id, "flow": flow.name,
+                    "link": link.name, "hop": hop,
+                    "bytes": drop.lost_bytes})
+        return flushed
+
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
@@ -788,7 +819,8 @@ class TopologyNetwork:
             if residue > 1e-6 + 1e-10 * link.total_offered:
                 raise AuditError(
                     f"conservation violated at link {link.name!r} "
-                    f"(t={self.now:.6f}): offered={link.total_offered!r} != "
+                    f"(tick {self._tick}, t={self.now:.6f}): "
+                    f"offered={link.total_offered!r} != "
                     f"served={link.total_served!r} + "
                     f"queued={link.queue_bytes!r} + "
                     f"dropped={link.total_drops!r} (residue {residue:.3g})")

@@ -1,0 +1,269 @@
+"""Hardened-executor tests: crash isolation, timeouts, retries, resume.
+
+Every failing spec here comes from :mod:`repro.experiments.selftest`,
+whose failure modes (raise, sleep, hard exit, fail-N-times-then-succeed)
+are part of its parameter space — so these tests drive the executor
+exactly the way the runner's ``--timeout``/``--max-retries``/``--resume``
+flags do.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.runtime import (
+    BatchExecutor,
+    BatchJournal,
+    ScenarioSpec,
+    SpecExecutionError,
+    SpecFailure,
+    batch_id,
+    default_journal_path,
+)
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.metrics import validate_metrics_record
+
+RUN = "repro.experiments.selftest:run"
+FLAKY = "repro.experiments.selftest:flaky_run"
+HARD_EXIT = "repro.experiments.selftest:hard_exit"
+
+
+def _spec(**params):
+    return ScenarioSpec.make(RUN, **params)
+
+
+def _outcomes(executor):
+    return [(r["cache"], r["outcome"], r["attempts"])
+            for r in executor.last_metrics]
+
+
+class TestCrashIsolation:
+    def test_raising_spec_recorded_siblings_complete(self):
+        executor = BatchExecutor(workers=2, on_error="record")
+        specs = [_spec(seed=1), _spec(seed=2, crash=1), _spec(seed=3)]
+        results = executor.run(specs)
+        assert results[0].data["n"] > 0
+        assert results[2].data["n"] > 0
+        failure = results[1]
+        assert isinstance(failure, SpecFailure)
+        assert failure.outcome == "error"
+        assert failure.attempts == 1
+        assert "deliberate crash" in failure.error
+        assert "RuntimeError" in failure.error  # full traceback
+        assert failure.fn == RUN
+        assert executor.last_stats.failed == 1
+
+    def test_default_on_error_raises_after_batch(self):
+        executor = BatchExecutor(workers=2, timeout=60.0)
+        specs = [_spec(seed=1), _spec(seed=2, crash=1), _spec(seed=3)]
+        with pytest.raises(SpecExecutionError) as excinfo:
+            executor.run(specs)
+        assert "deliberate crash" in str(excinfo.value)
+        assert len(excinfo.value.failures) == 1
+        # The siblings still completed and were cached before the raise.
+        assert executor.last_stats.executed == 3
+        cache = ResultCache()
+        assert cache.get(specs[0].spec_hash()) is not MISS
+        assert cache.get(specs[1].spec_hash()) is MISS
+
+    def test_worker_death_is_a_crash_outcome(self):
+        executor = BatchExecutor(workers=2, on_error="record")
+        spec = ScenarioSpec.make(HARD_EXIT, seed=1, code=17)
+        failure = executor.run([spec, _spec(seed=4)])[0]
+        assert isinstance(failure, SpecFailure)
+        assert failure.outcome == "crash"
+        assert "exit code 17" in failure.error
+
+    def test_failed_specs_never_cached(self):
+        executor = BatchExecutor(workers=1, on_error="record")
+        spec = _spec(seed=5, crash=1)
+        executor.run([spec])
+        assert ResultCache().get(spec.spec_hash()) is MISS
+        # A second run re-executes instead of hitting the cache.
+        executor2 = BatchExecutor(workers=1, on_error="record")
+        executor2.run([spec])
+        assert _outcomes(executor2) == [("miss", "error", 1)]
+
+
+class TestTimeout:
+    def test_hung_spec_terminated_and_recorded(self):
+        executor = BatchExecutor(workers=2, timeout=0.4,
+                                 on_error="record")
+        specs = [_spec(seed=1, sleep=30.0), _spec(seed=2)]
+        results = executor.run(specs)
+        failure = results[0]
+        assert isinstance(failure, SpecFailure)
+        assert failure.outcome == "timeout"
+        assert failure.seconds == pytest.approx(0.4)
+        assert "terminated" in failure.error
+        assert results[1].data["n"] > 0
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            BatchExecutor(timeout=0.0)
+
+
+class TestRetries:
+    def test_flaky_spec_retries_then_succeeds_and_caches(self, tmp_path):
+        marker = str(tmp_path / "flaky-marker")
+        spec = ScenarioSpec.make(FLAKY, marker=marker, fail_times=2)
+        executor = BatchExecutor(workers=1, max_retries=2,
+                                 retry_backoff=0.01, on_error="record")
+        result = executor.run([spec])[0]
+        assert not isinstance(result, SpecFailure)
+        assert result.data["attempts"] == 3
+        assert _outcomes(executor) == [("miss", "ok", 3)]
+        # The eventual success landed in the cache.
+        executor2 = BatchExecutor(workers=1, max_retries=2,
+                                  on_error="record")
+        executor2.run([spec])
+        assert _outcomes(executor2) == [("hit", "ok", 0)]
+
+    def test_retries_exhausted_reports_attempt_count(self, tmp_path):
+        marker = str(tmp_path / "stubborn-marker")
+        spec = ScenarioSpec.make(FLAKY, marker=marker, fail_times=10)
+        executor = BatchExecutor(workers=1, max_retries=1,
+                                 retry_backoff=0.01, on_error="record")
+        failure = executor.run([spec])[0]
+        assert isinstance(failure, SpecFailure)
+        assert failure.attempts == 2
+        assert "transient failure 2/10" in failure.summary
+
+    def test_invalid_retry_settings_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            BatchExecutor(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            BatchExecutor(max_retries=1, retry_backoff=-0.1)
+        with pytest.raises(ValueError, match="on_error"):
+            BatchExecutor(on_error="ignore")
+
+
+class TestBitIdentity:
+    def test_hardened_serial_pool_and_legacy_agree(self):
+        specs = [_spec(seed=seed) for seed in (1, 2, 3, 4)]
+        cold = dict(cache=ResultCache(enabled=False))
+
+        legacy = BatchExecutor(workers=1, **cold).run(specs)
+        serial = BatchExecutor(workers=1, timeout=60.0, **cold).run(specs)
+        pooled = BatchExecutor(workers=4, timeout=60.0, **cold).run(specs)
+
+        dumps = [pickle.dumps(batch) for batch in (legacy, serial, pooled)]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_hardened_not_engaged_by_default(self):
+        executor = BatchExecutor(workers=1)
+        assert not executor.hardened
+        assert BatchExecutor(workers=1, timeout=1.0).hardened
+        assert BatchExecutor(workers=1, max_retries=1).hardened
+        assert BatchExecutor(workers=1, on_error="record").hardened
+
+
+class TestMetricsV2:
+    def test_records_validate_and_carry_outcomes(self, tmp_path):
+        metrics_path = tmp_path / "metrics.jsonl"
+        executor = BatchExecutor(workers=2, on_error="record",
+                                 metrics_path=str(metrics_path))
+        executor.run([_spec(seed=1), _spec(seed=2, crash=1)])
+        lines = [json.loads(line) for line
+                 in metrics_path.read_text().splitlines()]
+        assert len(lines) == 2
+        for record in lines:
+            validate_metrics_record(record)
+        by_outcome = {record["outcome"]: record for record in lines}
+        assert by_outcome["ok"]["worker_pid"] is not None
+        assert by_outcome["error"]["worker_pid"] is None
+        assert by_outcome["error"]["attempts"] == 1
+
+    def test_hits_report_ok_with_zero_attempts(self):
+        spec = _spec(seed=9)
+        BatchExecutor(workers=1).run([spec])
+        executor = BatchExecutor(workers=1, on_error="record")
+        executor.run([spec])
+        assert _outcomes(executor) == [("hit", "ok", 0)]
+        for record in executor.last_metrics:
+            validate_metrics_record(record)
+
+
+class TestJournalAndResume:
+    def test_journal_records_terminal_states(self, tmp_path):
+        journal_path = tmp_path / "batch.jsonl"
+        executor = BatchExecutor(workers=2, on_error="record",
+                                 journal_path=journal_path)
+        specs = [_spec(seed=1), _spec(seed=2, crash=1)]
+        executor.run(specs)
+        entries = {record["spec_hash"]: record for record in
+                   (json.loads(line) for line
+                    in journal_path.read_text().splitlines())}
+        ok = entries[specs[0].spec_hash()]
+        bad = entries[specs[1].spec_hash()]
+        assert ok["outcome"] == "ok" and ok["attempts"] == 1
+        assert bad["outcome"] == "error"
+        assert "deliberate crash" in bad["error"]
+
+    def test_resume_skips_successes_retries_failures(self, tmp_path):
+        journal_path = tmp_path / "batch.jsonl"
+        specs = [_spec(seed=1), _spec(seed=2, crash=1)]
+        BatchExecutor(workers=2, on_error="record",
+                      journal_path=journal_path).run(specs)
+
+        resumed = BatchExecutor(workers=2, on_error="record",
+                                journal_path=journal_path, resume=True)
+        resumed.run(specs)
+        assert _outcomes(resumed) == [("hit", "ok", 0),
+                                      ("miss", "error", 1)]
+        # Latest-wins: the journal now holds both runs' lines, but the
+        # per-spec view reflects the most recent attempt.
+        journal = BatchJournal(journal_path, resume=True)
+        assert journal.outcome_of(specs[0].spec_hash()) == "ok"
+        assert journal.outcome_of(specs[1].spec_hash()) == "error"
+        raw_lines = journal_path.read_text().splitlines()
+        assert len(raw_lines) == 4  # two per run, append-only
+
+    def test_fresh_run_truncates_journal(self, tmp_path):
+        journal_path = tmp_path / "batch.jsonl"
+        journal_path.write_text('{"bogus": "stale line"}\n')
+        executor = BatchExecutor(workers=1, on_error="record",
+                                 journal_path=journal_path)
+        executor.run([_spec(seed=1)])
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["outcome"] == "ok"
+
+    def test_torn_trailing_line_tolerated_on_resume(self, tmp_path):
+        journal_path = tmp_path / "batch.jsonl"
+        executor = BatchExecutor(workers=1, on_error="record",
+                                 journal_path=journal_path)
+        spec = _spec(seed=1)
+        executor.run([spec])
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"spec_hash": "abc", "outco')  # torn write
+        journal = BatchJournal(journal_path, resume=True)
+        assert journal.outcome_of(spec.spec_hash()) == "ok"
+        assert journal.outcome_of("abc") is None
+
+    def test_batch_id_is_order_independent(self):
+        hashes = ["b" * 64, "a" * 64]
+        assert batch_id(hashes) == batch_id(list(reversed(hashes)))
+        assert len(batch_id(hashes)) == 16
+        assert batch_id(hashes) != batch_id(["c" * 64])
+
+    def test_default_journal_path_lives_under_cache_dir(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = str(default_journal_path("deadbeef00112233"))
+        assert path.startswith(str(tmp_path / "cache"))
+        assert path.endswith("deadbeef00112233.jsonl")
+
+
+class TestDedupUnderFailure:
+    def test_duplicate_failing_specs_share_one_execution(self):
+        executor = BatchExecutor(workers=2, on_error="record")
+        spec = _spec(seed=7, crash=1)
+        results = executor.run([spec, spec])
+        assert all(isinstance(result, SpecFailure) for result in results)
+        assert results[0] is results[1]
+        assert executor.last_stats.executed == 1
+        assert executor.last_stats.failed == 2
