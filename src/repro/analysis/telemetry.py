@@ -87,7 +87,7 @@ def metrics_summary(records: Iterable[dict]) -> Dict[str, Optional[float]]:
     """Aggregate a metrics file: cache accounting and execution rates."""
     records = list(records)
     executed = [r for r in records
-                if r["cache"] == "miss" and not r["dedup"]]
+                if r["cache"] in ("miss", "corrupt") and not r["dedup"]]
     seconds = [r["seconds"] for r in executed if r["seconds"] is not None]
     rates = [r["ticks_per_sec"] for r in executed
              if r["ticks_per_sec"] is not None]
@@ -97,6 +97,7 @@ def metrics_summary(records: Iterable[dict]) -> Dict[str, Optional[float]]:
         "specs": len(records),
         "hits": sum(r["cache"] == "hit" for r in records),
         "misses": sum(r["cache"] == "miss" for r in records),
+        "corrupt": sum(r["cache"] == "corrupt" for r in records),
         "executed": len(executed),
         "deduped": sum(r["dedup"] for r in records),
         "failures": sum(r.get("outcome", "ok") != "ok" for r in records),

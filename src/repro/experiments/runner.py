@@ -144,9 +144,12 @@ def _print_profile(stats, wall: float) -> None:
         status = "cached" if seconds is None else f"{seconds:8.2f}s"
         print(f"{label:<40} {status}")
     failed = f", {stats.failed} failed" if stats.failed else ""
+    corrupt = (f", {stats.corrupt} corrupt cache entr"
+               f"{'y' if stats.corrupt == 1 else 'ies'} re-executed"
+               if stats.corrupt else "")
     print(f"batch: {len(stats.timings)} spec(s) in {wall:.2f}s — "
           f"{stats.hits} cache hit(s), {stats.misses} miss(es), "
-          f"{stats.executed} executed{failed}")
+          f"{stats.executed} executed{failed}{corrupt}")
 
 
 def _accepts_kwarg(fn, name: str) -> bool:

@@ -4,9 +4,18 @@ This package is the repository's answer to "every driver re-simulates from
 scratch on each invocation": a :class:`ScenarioSpec` fully describes one
 simulation (target function plus canonicalised parameters), a
 :class:`BatchExecutor` fans a batch of specs across a process pool and
-memoises each result in an on-disk cache keyed by spec hash + source
-digest, and :mod:`repro.runtime.build` houses the network/scheme factories
-shared by every driver.
+memoises each result in an on-disk cache keyed by spec hash + the
+dependency-aware digest of the spec's driver module
+(:mod:`repro.runtime.depgraph`), and :mod:`repro.runtime.build` houses the
+network/scheme factories shared by every driver.
+
+The campaign layer — declarative manifests
+(:mod:`repro.runtime.manifest`) and the ``repro-campaign`` runner/CLI
+(:mod:`repro.runtime.campaign`) — is deliberately *not* re-exported here:
+every driver imports ``repro.runtime``, so anything this ``__init__``
+pulls in lands in every driver's cache-key dependency closure, and an
+edit to the campaign front-end would needlessly cold-start all simulation
+caches.  Import those submodules directly.
 
 Environment knobs:
 
@@ -32,6 +41,7 @@ from .build import (
     make_topology,
 )
 from .cache import ResultCache, cache_enabled, default_cache_dir, source_digest
+from .depgraph import DependencyGraph, module_digest
 from .executor import (
     BatchExecutor,
     BatchStats,
@@ -61,6 +71,7 @@ __all__ = [
     "BatchExecutor",
     "BatchJournal",
     "BatchStats",
+    "DependencyGraph",
     "FaultSpec",
     "JOURNAL_SCHEMA_VERSION",
     "LinkSpec",
@@ -83,6 +94,7 @@ __all__ = [
     "make_scheme",
     "make_topology",
     "metrics_record",
+    "module_digest",
     "run_batch",
     "run_scenario",
     "source_digest",

@@ -1,11 +1,27 @@
 """On-disk memoisation of scenario results.
 
-Results are pickled under ``<cache dir>/<source digest>/<spec hash>.pkl``.
-The source digest hashes every ``.py`` file of the installed ``repro``
-package, so editing any simulator/driver code invalidates the whole cache
-(stale results from older code can never be served).  Writes go through a
-temp file plus atomic rename, so a crashed or parallel writer can at worst
-leave an orphan temp file, never a truncated entry.
+Results are pickled under ``<cache dir>/mod-<module digest>/<spec hash>.pkl``
+where the *module digest* is the dependency-aware digest of the spec's
+driver module (see :mod:`repro.runtime.depgraph`): the hash of the driver's
+own source plus every module it can statically reach.  Editing an
+experiment driver therefore invalidates only that driver's entries, while
+editing something everyone imports (``simulator/engine.py``) invalidates
+everything — stale results from older code can never be served, but
+unrelated edits keep the cache warm.
+
+Legacy layout and migration: entries written before per-module keying live
+under ``<cache dir>/<whole-package digest>/``.  A miss in the new layout
+falls back to the legacy location (when the package digest still matches,
+i.e. no source changed since the entry was written) and migrates the entry
+— the identical pickle bytes — into the new layout, so one run after an
+upgrade rekeys everything it touches without re-simulating.
+
+Corrupt entries (truncated pickles, results pickled against code that no
+longer exists) are deleted on load failure rather than left to fail again
+forever; the executor reports them as ``cache="corrupt"`` in the runtime
+metrics.  Writes go through a temp file plus atomic rename, so a crashed
+or parallel writer can at worst leave an orphan temp file, never a
+truncated entry.
 """
 
 from __future__ import annotations
@@ -15,7 +31,9 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Set, Tuple
+
+from . import depgraph
 
 #: Sentinel distinguishing "no cached entry" from a cached ``None``.
 MISS = object()
@@ -43,7 +61,13 @@ def default_cache_dir() -> Path:
 
 
 def source_digest() -> str:
-    """Hash of all ``repro`` package sources, memoised per process."""
+    """Hash of all ``repro`` package sources, memoised per process.
+
+    This is the *legacy* whole-package cache key, kept for the migration
+    fallback read and for callers that key artefacts against the entire
+    source tree.  New cache entries are keyed per driver module via
+    :func:`repro.runtime.depgraph.module_digest` instead.
+    """
     global _SOURCE_DIGEST
     if _SOURCE_DIGEST is None:
         import repro
@@ -60,64 +84,157 @@ def source_digest() -> str:
 
 
 class ResultCache:
-    """Pickle-per-entry result store, keyed by spec hash + source digest.
+    """Pickle-per-entry result store, keyed by spec hash + module digest.
 
     Args:
         directory: Cache root; defaults to :func:`default_cache_dir`.
         enabled: Defaults to :func:`cache_enabled` (``REPRO_NO_CACHE``).
+        graph: Dependency graph used for module digests; defaults to the
+            shared per-process graph (injectable for tests that build toy
+            package trees).
     """
 
     def __init__(self, directory: Optional[Path] = None,
-                 enabled: Optional[bool] = None) -> None:
+                 enabled: Optional[bool] = None,
+                 graph: Optional["depgraph.DependencyGraph"] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
+        self.graph = graph
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._corrupt_hashes: Set[str] = set()
 
-    def _entry_path(self, spec_hash: str) -> Path:
+    # ------------------------------------------------------------------ #
+    # Key layout
+    # ------------------------------------------------------------------ #
+    def _module_dir(self, fn: Optional[str]) -> str:
+        """Directory name for a spec target's dependency digest.
+
+        ``fn`` is the spec's dotted target (``"module:callable"`` or a
+        bare module name); ``None`` — or a module the dependency graph
+        cannot resolve — falls back to the legacy whole-package digest,
+        which is always a valid (if coarse) key.
+        """
+        if fn is not None:
+            module = fn.partition(":")[0]
+            graph = self.graph if self.graph is not None \
+                else depgraph.default_graph()
+            try:
+                return f"mod-{graph.digest_for(module)}"
+            except Exception:
+                pass
+        return source_digest()
+
+    def _entry_path(self, spec_hash: str, fn: Optional[str] = None) -> Path:
+        return self.directory / self._module_dir(fn) / f"{spec_hash}.pkl"
+
+    def _legacy_path(self, spec_hash: str) -> Path:
         return self.directory / source_digest() / f"{spec_hash}.pkl"
 
-    def get(self, spec_hash: str) -> Any:
-        """The cached result, or the module-level ``MISS`` sentinel."""
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def _load(self, path: Path, spec_hash: str) -> Tuple[str, Any]:
+        """(status, value): ``"hit"``, ``"absent"``, or ``"corrupt"``.
+
+        A corrupt entry — truncated, garbage, or pickled against code that
+        no longer exists — is deleted so it cannot shadow the slot forever,
+        and remembered for the executor's metrics (see
+        :meth:`take_corrupt`).
+        """
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            return "absent", None
+        try:
+            with handle:
+                return "hit", pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.corrupt += 1
+            self._corrupt_hashes.add(spec_hash)
+            return "corrupt", None
+
+    def get(self, spec_hash: str, fn: Optional[str] = None) -> Any:
+        """The cached result, or the module-level ``MISS`` sentinel.
+
+        With ``fn`` set (the spec's dotted target), the per-module layout
+        is consulted first, then the legacy whole-package layout; a legacy
+        hit is migrated — byte-identical — into the new layout on the way
+        out.
+        """
         if not self.enabled:
             return MISS
-        path = self._entry_path(spec_hash)
-        try:
-            with open(path, "rb") as handle:
-                result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError):
-            # Absent, truncated, or pickled against code that no longer
-            # exists: all are plain misses.
-            self.misses += 1
-            return MISS
-        self.hits += 1
-        return result
+        path = self._entry_path(spec_hash, fn)
+        status, value = self._load(path, spec_hash)
+        if status == "hit":
+            self.hits += 1
+            return value
+        if fn is not None:
+            legacy = self._legacy_path(spec_hash)
+            if legacy != path:
+                status, value = self._load(legacy, spec_hash)
+                if status == "hit":
+                    self._migrate(legacy, path)
+                    self.hits += 1
+                    return value
+        self.misses += 1
+        return MISS
 
-    def put(self, spec_hash: str, result: Any) -> bool:
+    def _migrate(self, legacy: Path, path: Path) -> None:
+        """Copy a legacy entry's exact bytes into the per-module layout."""
+        try:
+            self._write_bytes(path, legacy.read_bytes())
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def _write_bytes(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def put(self, spec_hash: str, result: Any,
+            fn: Optional[str] = None) -> bool:
         """Store a result; returns False when disabled or unpicklable."""
         if not self.enabled:
             return False
-        path = self._entry_path(spec_hash)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                            suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(result, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            self._write_bytes(self._entry_path(spec_hash, fn), payload)
         except (OSError, pickle.PicklingError, TypeError):
             return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
     def stats(self) -> Tuple[int, int]:
         """(hits, misses) observed by this cache instance."""
         return self.hits, self.misses
+
+    def take_corrupt(self) -> Set[str]:
+        """Spec hashes whose entries were corrupt since the last call.
+
+        Returns and clears the set, so each :meth:`~repro.runtime.executor.
+        BatchExecutor.run` reports only its own corruption events.
+        """
+        taken = self._corrupt_hashes
+        self._corrupt_hashes = set()
+        return taken

@@ -1,0 +1,401 @@
+"""Campaign runner: execute a manifest as cached, journalled batches.
+
+``repro-campaign`` promotes the batch runtime from "run one figure's
+batch" to a manifest-driven campaign service::
+
+    repro-campaign run    benchmarks/campaigns/smoke.toml --out runs/smoke
+    repro-campaign status benchmarks/campaigns/smoke.toml --out runs/smoke
+    repro-campaign resume benchmarks/campaigns/smoke.toml --out runs/smoke
+    repro-campaign diff   runs/smoke/summary.json runs/other/summary.json
+
+``run`` expands the manifest (see :mod:`repro.runtime.manifest`) and
+executes the cells in chunks on the hardened executor — per-spec crash
+isolation, structured failures, one campaign-level journal spanning every
+chunk — streaming one JSONL line per cell to ``<out>/results.jsonl`` as it
+settles and writing ``<out>/summary.json`` at the end.  Because results
+are memoised per spec hash × driver-module digest, re-running a campaign
+re-executes only cells whose code or parameters changed; everything else
+resolves as cache hits.
+
+``status`` reads the campaign journal without executing anything.
+``resume`` keeps the journal and re-attempts only failed or never-resolved
+cells.  ``diff`` compares two summaries cell by cell (outcome changes,
+accuracy deltas, cache behaviour) and exits non-zero when a previously-ok
+cell regressed.
+
+Exit codes mirror the experiment runner: 0 success, 2 usage/manifest
+error, 3 campaign completed but some cells failed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .cache import ResultCache
+from .executor import BatchExecutor, SpecFailure
+from .journal import BatchJournal
+from .manifest import CampaignCell, CampaignManifest, ManifestError
+
+#: Version tag stamped into result lines and summaries.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+#: Cells executed per executor batch.  Chunking is what makes a campaign
+#: *stream*: results and journal lines appear as each chunk settles
+#: instead of after the whole grid.
+DEFAULT_CHUNK = 8
+
+
+def _accuracy_of(result: Any) -> Optional[float]:
+    """Best-effort classification accuracy of one cell's result.
+
+    Duck-typed on purpose — the runtime layer must not import the driver
+    layer.  Understands :class:`~repro.experiments.common.
+    ExperimentResult`-shaped objects (mean of per-scheme
+    ``extra["mode_accuracy"]``) and the plain payload dicts the per-case
+    drivers return.
+    """
+    if isinstance(result, SpecFailure):
+        return None
+    schemes = getattr(result, "schemes", None)
+    if isinstance(schemes, dict):
+        values = [s.extra.get("mode_accuracy") for s in schemes.values()
+                  if getattr(s, "extra", None)]
+        values = [v for v in values if isinstance(v, (int, float))]
+        if values:
+            return float(sum(values) / len(values))
+    data = result.get("extra") if isinstance(result, dict) else None
+    if isinstance(data, dict):
+        value = data.get("mode_accuracy")
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def _scalars_of(result: Any) -> Dict[str, Any]:
+    """Small scalar summary of a cell result for the JSONL stream."""
+    if isinstance(result, SpecFailure):
+        return {"error": result.summary}
+    source = None
+    if isinstance(result, dict):
+        source = result
+    elif hasattr(result, "data") and isinstance(result.data, dict):
+        source = result.data
+    if not source:
+        return {}
+    return {key: value for key, value in sorted(source.items())
+            if isinstance(value, (int, float, str, bool))}
+
+
+class CampaignRunner:
+    """Executes one manifest's cells with caching, journalling, streaming.
+
+    Args:
+        manifest: Parsed campaign manifest.
+        out_dir: Output directory; defaults to ``campaign-runs/<name>``.
+            Holds ``results.jsonl``, ``summary.json``, ``journal.jsonl``.
+        workers: Executor pool width (``None`` reads the environment).
+        cache: Result cache override (tests inject toy-package graphs).
+        timeout: Per-cell wall-clock deadline in seconds.
+        max_retries: Extra attempts per failed cell.
+        chunk: Cells per executor batch (streaming granularity).
+        resolver: Bare-driver-name resolver override (tests).
+    """
+
+    def __init__(self, manifest: CampaignManifest,
+                 out_dir: Union[str, Path, None] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None, max_retries: int = 0,
+                 chunk: int = DEFAULT_CHUNK,
+                 resolver: Optional[Callable[[str], str]] = None) -> None:
+        self.manifest = manifest
+        self.out_dir = Path(out_dir) if out_dir is not None \
+            else Path("campaign-runs") / manifest.name
+        self.workers = workers
+        self.cache = cache
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.chunk = max(1, int(chunk))
+        self.cells: List[CampaignCell] = manifest.expand(resolver)
+
+    @property
+    def results_path(self) -> Path:
+        return self.out_dir / "results.jsonl"
+
+    @property
+    def summary_path(self) -> Path:
+        return self.out_dir / "summary.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.out_dir / "journal.jsonl"
+
+    # ------------------------------------------------------------------ #
+    def run(self, resume: bool = False,
+            echo: Optional[Callable[[str], None]] = None) -> dict:
+        """Execute the campaign; returns (and writes) the summary dict."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        executor = BatchExecutor(
+            workers=self.workers, cache=self.cache,
+            timeout=self.timeout, max_retries=self.max_retries,
+            on_error="record", journal_path=str(self.journal_path),
+            resume=resume)
+        begin = time.perf_counter()
+        cell_rows: Dict[str, dict] = {}
+        mode = "a" if resume and self.results_path.exists() else "w"
+        with open(self.results_path, mode, encoding="utf-8") as stream:
+            for start in range(0, len(self.cells), self.chunk):
+                batch = self.cells[start:start + self.chunk]
+                results = executor.run([cell.spec for cell in batch])
+                for cell, result, record in zip(batch, results,
+                                                executor.last_metrics):
+                    row = {
+                        "schema_version": CAMPAIGN_SCHEMA_VERSION,
+                        "campaign": self.manifest.name,
+                        "cell": cell.cell_id,
+                        "experiment": cell.experiment,
+                        "spec_hash": record["spec_hash"],
+                        "fn": record["fn"],
+                        "cache": record["cache"],
+                        "outcome": record["outcome"],
+                        "attempts": record["attempts"],
+                        "seconds": record["seconds"],
+                        "accuracy": _accuracy_of(result),
+                        "scalars": _scalars_of(result),
+                    }
+                    stream.write(json.dumps(row, separators=(",", ":"),
+                                            sort_keys=True) + "\n")
+                    cell_rows[cell.cell_id] = {
+                        key: row[key] for key in (
+                            "experiment", "spec_hash", "cache", "outcome",
+                            "attempts", "seconds", "accuracy")}
+                    if echo is not None:
+                        seconds = row["seconds"]
+                        timing = "cached" if seconds is None \
+                            else f"{seconds:6.2f}s"
+                        echo(f"{cell.cell_id:<44} {row['cache']:>7} "
+                             f"{row['outcome']:<7} {timing}")
+                stream.flush()
+        summary = self._build_summary(cell_rows,
+                                      wall=time.perf_counter() - begin)
+        self._write_summary(summary)
+        return summary
+
+    def _build_summary(self, cell_rows: Dict[str, dict],
+                       wall: float) -> dict:
+        seconds = [row["seconds"] for row in cell_rows.values()
+                   if row["seconds"] is not None]
+        totals = {
+            "cells": len(cell_rows),
+            "ok": sum(r["outcome"] == "ok" for r in cell_rows.values()),
+            "failed": sum(r["outcome"] != "ok"
+                          for r in cell_rows.values()),
+            "hits": sum(r["cache"] == "hit" for r in cell_rows.values()),
+            "misses": sum(r["cache"] == "miss"
+                          for r in cell_rows.values()),
+            "corrupt": sum(r["cache"] == "corrupt"
+                           for r in cell_rows.values()),
+            "sim_seconds": sum(seconds),
+            "wall_seconds": wall,
+        }
+        return {
+            "schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "campaign": self.manifest.name,
+            "manifest": str(self.manifest.path) if self.manifest.path
+            else None,
+            "manifest_digest": self.manifest.digest,
+            "cells": cell_rows,
+            "totals": totals,
+        }
+
+    def _write_summary(self, summary: dict) -> None:
+        tmp = self.summary_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, self.summary_path)
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """Campaign progress from the journal, without executing anything."""
+        journal = BatchJournal(self.journal_path, resume=True) \
+            if self.journal_path.exists() else None
+        cells = {}
+        for cell in self.cells:
+            outcome = journal.outcome_of(cell.spec.spec_hash()) \
+                if journal else None
+            cells[cell.cell_id] = outcome or "pending"
+        counts: Dict[str, int] = {}
+        for outcome in cells.values():
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return {"campaign": self.manifest.name, "cells": cells,
+                "counts": counts,
+                "journal": str(self.journal_path)
+                if journal is not None else None}
+
+
+# ---------------------------------------------------------------------- #
+# Summary diffing
+# ---------------------------------------------------------------------- #
+def diff_summaries(old: dict, new: dict,
+                   accuracy_tolerance: float = 1e-9) -> dict:
+    """Cell-by-cell comparison of two campaign summaries.
+
+    Returns added/removed cell ids, outcome changes, accuracy deltas
+    beyond ``accuracy_tolerance``, and the list of *regressed* cells
+    (previously ``ok``, now not) that drives the CLI exit code.
+    """
+    old_cells = old.get("cells", {})
+    new_cells = new.get("cells", {})
+    added = sorted(set(new_cells) - set(old_cells))
+    removed = sorted(set(old_cells) - set(new_cells))
+    outcome_changes = {}
+    accuracy_deltas = {}
+    regressed = []
+    for cell in sorted(set(old_cells) & set(new_cells)):
+        before, after = old_cells[cell], new_cells[cell]
+        if before["outcome"] != after["outcome"]:
+            outcome_changes[cell] = (before["outcome"], after["outcome"])
+            if before["outcome"] == "ok" and after["outcome"] != "ok":
+                regressed.append(cell)
+        acc_before, acc_after = before.get("accuracy"), after.get("accuracy")
+        if isinstance(acc_before, (int, float)) \
+                and isinstance(acc_after, (int, float)) \
+                and abs(acc_after - acc_before) > accuracy_tolerance:
+            accuracy_deltas[cell] = (acc_before, acc_after)
+    return {
+        "added": added,
+        "removed": removed,
+        "outcome_changes": outcome_changes,
+        "accuracy_deltas": accuracy_deltas,
+        "regressed": regressed,
+        "wall_seconds": (old.get("totals", {}).get("wall_seconds"),
+                         new.get("totals", {}).get("wall_seconds")),
+    }
+
+
+def render_diff(diff: dict) -> str:
+    lines = []
+    for key in ("added", "removed"):
+        for cell in diff[key]:
+            lines.append(f"{key}: {cell}")
+    for cell, (before, after) in sorted(diff["outcome_changes"].items()):
+        lines.append(f"outcome: {cell}: {before} -> {after}")
+    for cell, (before, after) in sorted(diff["accuracy_deltas"].items()):
+        lines.append(f"accuracy: {cell}: {before:.4f} -> {after:.4f} "
+                     f"({after - before:+.4f})")
+    if not lines:
+        lines.append("no cell-level differences")
+    if diff["regressed"]:
+        lines.append(f"{len(diff['regressed'])} cell(s) regressed from ok")
+    return "\n".join(lines)
+
+
+def _render_totals(summary: dict) -> str:
+    totals = summary["totals"]
+    corrupt = f", {totals['corrupt']} corrupt" if totals["corrupt"] else ""
+    return (f"campaign {summary['campaign']}: {totals['cells']} cell(s) — "
+            f"{totals['ok']} ok, {totals['failed']} failed, "
+            f"{totals['hits']} cache hit(s), {totals['misses']} "
+            f"miss(es){corrupt}, {totals['sim_seconds']:.2f}s simulated "
+            f"in {totals['wall_seconds']:.2f}s")
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def _add_exec_options(cmd) -> None:
+    cmd.add_argument("--out", metavar="DIR", default=None,
+                     help="Output directory (default: "
+                          "campaign-runs/<campaign name>)")
+    cmd.add_argument("--workers", type=int, default=None,
+                     help="Executor pool width (default: "
+                          "REPRO_BENCH_WORKERS / cpu count)")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="Per-cell wall-clock deadline")
+    cmd.add_argument("--max-retries", type=int, default=0, metavar="N",
+                     help="Extra attempts per failed cell")
+    cmd.add_argument("--chunk", type=int, default=DEFAULT_CHUNK,
+                     metavar="N", help="Cells per executor batch "
+                                       f"(default {DEFAULT_CHUNK})")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-campaign`` entry point; returns a process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run, inspect, and compare scenario campaigns.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, doc in (("run", "Execute a campaign manifest"),
+                      ("resume", "Re-attempt only failed/pending cells"),
+                      ("status", "Per-cell progress from the journal"),
+                      ("dry-run", "List the expanded cells and exit")):
+        cmd = sub.add_parser(name, help=doc)
+        cmd.add_argument("manifest", help="Path to a .toml/.json manifest")
+        if name in ("run", "resume"):
+            _add_exec_options(cmd)
+        elif name == "status":
+            cmd.add_argument("--out", metavar="DIR", default=None)
+    diff_cmd = sub.add_parser(
+        "diff", help="Compare two campaign summary.json files")
+    diff_cmd.add_argument("old")
+    diff_cmd.add_argument("new")
+    args = parser.parse_args(argv)
+
+    if args.command == "diff":
+        try:
+            old = json.loads(Path(args.old).read_text(encoding="utf-8"))
+            new = json.loads(Path(args.new).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot load summary: {error}", file=sys.stderr)
+            return 2
+        diff = diff_summaries(old, new)
+        print(render_diff(diff))
+        return 1 if diff["regressed"] else 0
+
+    try:
+        manifest = CampaignManifest.load(args.manifest)
+        runner = CampaignRunner(
+            manifest,
+            out_dir=getattr(args, "out", None),
+            workers=getattr(args, "workers", None),
+            timeout=getattr(args, "timeout", None),
+            max_retries=getattr(args, "max_retries", 0),
+            chunk=getattr(args, "chunk", DEFAULT_CHUNK))
+    except ManifestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.command == "dry-run":
+        for cell in runner.cells:
+            print(f"{cell.cell_id:<44} {cell.spec.fn}")
+        print(f"{len(runner.cells)} cell(s)")
+        return 0
+    if args.command == "status":
+        status = runner.status()
+        for cell_id, outcome in status["cells"].items():
+            print(f"{cell_id:<44} {outcome}")
+        counts = ", ".join(f"{n} {outcome}" for outcome, n
+                           in sorted(status["counts"].items()))
+        print(f"campaign {status['campaign']}: {counts}")
+        return 0
+
+    summary = runner.run(resume=args.command == "resume", echo=print)
+    print(_render_totals(summary))
+    print(f"summary: {runner.summary_path}")
+    if summary["totals"]["failed"]:
+        print(f"{summary['totals']['failed']} cell(s) failed; re-attempt "
+              f"them with 'repro-campaign resume'", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

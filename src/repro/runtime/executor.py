@@ -178,6 +178,8 @@ class BatchStats:
             time otherwise (duplicates report the shared execution's time).
         failed: Spec positions that ended in a :class:`SpecFailure`
             (always 0 outside hardened mode).
+        corrupt: Spec positions whose cached entry was corrupt (deleted
+            and re-executed; a subset of ``misses``).
     """
 
     hits: int
@@ -185,6 +187,7 @@ class BatchStats:
     executed: int
     timings: List[Tuple[str, Optional[float]]]
     failed: int = 0
+    corrupt: int = 0
 
 
 def _pickle_roundtrip(result: Any) -> Any:
@@ -278,8 +281,10 @@ class BatchExecutor:
         """
         specs = list(specs)
         hashes = [spec.spec_hash() for spec in specs]
-        results: List[Any] = [self.cache.get(h) for h in hashes]
+        results: List[Any] = [self.cache.get(h, fn=spec.fn)
+                              for h, spec in zip(hashes, specs)]
         missed = [result is MISS for result in results]
+        corrupt_hashes = self.cache.take_corrupt()
         journal = self._ensure_journal()
         if journal is not None:
             recorded = set()
@@ -317,7 +322,8 @@ class BatchExecutor:
                 seconds_by_hash[spec_hash] = seconds
                 pid_by_hash[spec_hash] = pid
                 attempts_by_hash[spec_hash] = attempts
-                self.cache.put(spec_hash, result)
+                self.cache.put(spec_hash, result,
+                               fn=specs[unique[spec_hash]].fn)
                 if journal is not None and not self.hardened:
                     # The hardened scheduler journals at reap time; the
                     # legacy path settles everything here.
@@ -338,11 +344,14 @@ class BatchExecutor:
                       seconds_by_hash[hashes[index]] if missed[index] else None)
                      for index, spec in enumerate(specs)],
             failed=sum(1 for result in results
-                       if isinstance(result, SpecFailure)))
+                       if isinstance(result, SpecFailure)),
+            corrupt=sum(1 for index in range(len(specs))
+                        if missed[index] and hashes[index] in corrupt_hashes))
         self.last_metrics = [
             metrics_record(
                 spec,
-                cache="miss" if missed[index] else "hit",
+                cache=("corrupt" if hashes[index] in corrupt_hashes
+                       else "miss") if missed[index] else "hit",
                 seconds=seconds_by_hash[hashes[index]] if missed[index] else None,
                 worker_pid=pid_by_hash[hashes[index]] if missed[index] else None,
                 dedup=missed[index] and unique.get(hashes[index]) != index,

@@ -19,6 +19,12 @@ The default journal location is derived from the batch content —
 ``<cache_dir>/journals/<batch_id>.jsonl`` with :func:`batch_id` the hash
 of the sorted spec hashes — so re-running the same batch finds its own
 journal without any path plumbing.
+
+A journal is not limited to one executor batch: the campaign runner (see
+:mod:`repro.runtime.campaign`) executes a manifest as a sequence of
+chunked batches that all append to a single campaign-level journal, so
+``status``/``resume`` see the whole campaign regardless of how it was
+chunked.  :meth:`BatchJournal.counts` summarises that spanning view.
 """
 
 from __future__ import annotations
@@ -95,6 +101,19 @@ class BatchJournal:
         """Latest journalled outcome for a spec, or ``None`` if absent."""
         entry = self.entries.get(spec_hash)
         return entry.get("outcome") if entry else None
+
+    def counts(self) -> Dict[str, int]:
+        """Journalled specs per outcome (latest line wins per spec).
+
+        Campaign runs append every batch of every chunk to one journal, so
+        this is the campaign-level progress summary behind
+        ``repro-campaign status``.
+        """
+        totals: Dict[str, int] = {}
+        for entry in self.entries.values():
+            outcome = entry.get("outcome", "ok")
+            totals[outcome] = totals.get(outcome, 0) + 1
+        return totals
 
     def record(self, *, spec_hash: str, label: str, outcome: str,
                attempts: int, seconds: Optional[float],

@@ -16,7 +16,10 @@ Record schema (``schema_version`` = :data:`METRICS_SCHEMA_VERSION`):
 ``label`` / ``fn``
     Display label and dotted target path of the spec.
 ``cache``
-    ``"hit"`` (served from the on-disk cache) or ``"miss"`` (simulated).
+    ``"hit"`` (served from the on-disk cache), ``"miss"`` (simulated), or
+    ``"corrupt"`` (a cached entry existed but could not be loaded — it was
+    deleted and the spec simulated fresh, so ``"corrupt"`` otherwise
+    behaves like ``"miss"``).
 ``dedup``
     True when this position was a miss but shared another identical
     miss's execution instead of running its own simulation.
@@ -40,7 +43,9 @@ Record schema (``schema_version`` = :data:`METRICS_SCHEMA_VERSION`):
     Execution attempts consumed, including retries; ``0`` for cache hits.
 
 Schema history: version 2 added ``outcome``/``attempts`` (records without
-them no longer validate).
+them no longer validate); version 3 added the ``"corrupt"`` cache state
+(corrupt on-disk entries are deleted and re-executed instead of silently
+masquerading as plain misses).
 """
 
 from __future__ import annotations
@@ -51,14 +56,14 @@ from typing import IO, Iterable, Optional, Union
 from .spec import ScenarioSpec
 
 #: Version tag stamped into every record.
-METRICS_SCHEMA_VERSION = 2
+METRICS_SCHEMA_VERSION = 3
 
 #: Fields every record must carry (beyond these, extras are rejected).
 _FIELDS = ("schema_version", "spec_hash", "label", "fn", "cache", "dedup",
            "seconds", "worker_pid", "ticks", "ticks_per_sec", "outcome",
            "attempts")
 
-_CACHE_STATES = ("hit", "miss")
+_CACHE_STATES = ("hit", "miss", "corrupt")
 
 #: Terminal states a spec execution can reach.
 OUTCOMES = ("ok", "error", "timeout", "crash")

@@ -146,6 +146,16 @@ class ScenarioSpec:
                 f"{self.fn!r} does not resolve to a callable")
         return target
 
+    @property
+    def module(self) -> str:
+        """Module part of the dotted target path.
+
+        This is the scope of the spec's cache key: the result cache keys
+        each entry by the dependency-aware digest of this module (see
+        :mod:`repro.runtime.depgraph`).
+        """
+        return self.fn.partition(":")[0]
+
     def spec_hash(self) -> str:
         """Stable content hash of (fn, params) — the cache key core."""
         payload = repr((self.fn, self.params)).encode("utf-8")

@@ -66,8 +66,8 @@ class TestCrashIsolation:
         # The siblings still completed and were cached before the raise.
         assert executor.last_stats.executed == 3
         cache = ResultCache()
-        assert cache.get(specs[0].spec_hash()) is not MISS
-        assert cache.get(specs[1].spec_hash()) is MISS
+        assert cache.get(specs[0].spec_hash(), fn=specs[0].fn) is not MISS
+        assert cache.get(specs[1].spec_hash(), fn=specs[1].fn) is MISS
 
     def test_worker_death_is_a_crash_outcome(self):
         executor = BatchExecutor(workers=2, on_error="record")
@@ -81,7 +81,7 @@ class TestCrashIsolation:
         executor = BatchExecutor(workers=1, on_error="record")
         spec = _spec(seed=5, crash=1)
         executor.run([spec])
-        assert ResultCache().get(spec.spec_hash()) is MISS
+        assert ResultCache().get(spec.spec_hash(), fn=spec.fn) is MISS
         # A second run re-executes instead of hitting the cache.
         executor2 = BatchExecutor(workers=1, on_error="record")
         executor2.run([spec])

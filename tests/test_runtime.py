@@ -138,6 +138,41 @@ def test_cache_dir_env_override(tmp_path, monkeypatch):
     assert (tmp_path / "elsewhere" / source_digest() / "abc.pkl").exists()
 
 
+def test_corrupt_entry_is_deleted_and_reported(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    cache.put("abc", 42)
+    path = tmp_path / source_digest() / "abc.pkl"
+    path.write_bytes(b"not a pickle")
+    assert cache.get("abc") is MISS
+    # The bad entry must not shadow its slot forever.
+    assert not path.exists()
+    assert cache.corrupt == 1
+    assert cache.take_corrupt() == {"abc"}
+    assert cache.take_corrupt() == set()
+    # The slot is immediately writable again.
+    assert cache.put("abc", 43) and cache.get("abc") == 43
+
+
+def test_per_module_layout_and_legacy_migration(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    fn = "_toy_driver:run"
+    # An entry written before per-module keying lives in the legacy layout.
+    cache.put("abc", {"x": 1})
+    legacy = tmp_path / source_digest() / "abc.pkl"
+    assert legacy.exists()
+    # A keyed read falls back to it and migrates the exact bytes.
+    assert cache.get("abc", fn=fn) == {"x": 1}
+    from repro.runtime.depgraph import default_graph
+
+    new = tmp_path / f"mod-{default_graph().digest_for('_toy_driver')}" \
+        / "abc.pkl"
+    assert new.exists()
+    assert new.read_bytes() == legacy.read_bytes()
+    # Keyed writes land in the per-module layout directly.
+    cache.put("def", 2, fn=fn)
+    assert (new.parent / "def.pkl").exists()
+
+
 # --------------------------------------------------------------------- #
 # BatchExecutor
 # --------------------------------------------------------------------- #
@@ -293,3 +328,23 @@ def test_batch_stats_warm_run_counts_hits(tmp_path):
 def test_batch_stats_before_any_run_is_none():
     assert BatchExecutor(workers=1,
                          cache=ResultCache(enabled=False)).last_stats is None
+
+
+def test_executor_reports_corrupt_entries_in_metrics(tmp_path):
+    cache = ResultCache(directory=tmp_path, enabled=True)
+    (spec,) = _batch(1)
+    BatchExecutor(workers=1, cache=cache).run([spec])
+    (entry,) = list(tmp_path.rglob("*.pkl"))
+    assert entry.parent.name.startswith("mod-")  # per-module layout
+    entry.write_bytes(b"\x80")  # truncated pickle
+    executor = BatchExecutor(workers=1, cache=cache)
+    results = executor.run([spec])
+    assert results[0].parameters["seed"] == 0  # re-executed fine
+    assert executor.last_stats.corrupt == 1
+    assert executor.last_stats.misses == 1
+    record = executor.last_metrics[0]
+    assert record["cache"] == "corrupt"
+    # The repaired entry serves the next run as a normal hit.
+    warm = BatchExecutor(workers=1, cache=cache)
+    warm.run([spec])
+    assert warm.last_metrics[0]["cache"] == "hit"
