@@ -12,7 +12,10 @@ validator::
     python -m repro.analysis.telemetry summary --kind trace trace.jsonl
 
 ``validate`` exits non-zero on the first malformed line, naming the line
-number and the schema violation.
+number and the schema violation.  ``validate --require EVENT`` (trace
+files; repeatable) additionally fails unless at least one record of each
+required kind is present — how CI asserts a reroute trace really
+contains a ``route_change``.
 """
 
 from __future__ import annotations
@@ -145,8 +148,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("command", choices=("validate", "summary"))
     parser.add_argument("--kind", choices=sorted(_LOADERS), required=True,
                         help="Which schema the file must match")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="EVENT",
+                        help="validate only, trace files: fail unless at "
+                             "least one record of this event kind is "
+                             "present (repeatable)")
     parser.add_argument("path", help="JSONL file to read")
     args = parser.parse_args(argv)
+
+    if args.require and (args.command != "validate" or args.kind != "trace"):
+        parser.error("--require only applies to 'validate --kind trace'")
 
     try:
         records = _LOADERS[args.kind](args.path)
@@ -154,6 +165,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(error), file=sys.stderr)
         return 1
     if args.command == "validate":
+        if args.require:
+            present = Counter(record["event"] for record in records)
+            missing = [kind for kind in args.require if not present[kind]]
+            if missing:
+                print(f"{args.path}: no record of required event kind(s): "
+                      f"{', '.join(sorted(missing))}", file=sys.stderr)
+                return 1
         print(f"{args.path}: {len(records)} valid {args.kind} record(s)")
         return 0
     if args.kind == "trace":

@@ -32,6 +32,7 @@ from . import (
     internet_paths,
     link_flap,
     parking_lot,
+    reroute,
     selftest,
     table1_classification,
 )
@@ -76,6 +77,7 @@ EXPERIMENT_INDEX = {
     "appE": appE_buffer_aqm,
     "link_flap": link_flap,
     "parking_lot": parking_lot,
+    "reroute": reroute,
     "selftest": selftest,
     "table1": table1_classification,
 }

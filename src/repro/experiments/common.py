@@ -17,8 +17,12 @@ import numpy as np
 from ..analysis.metrics import ThroughputDelaySummary, summarize_flow
 from ..runtime.build import (
     LinkSpec,
+    RoutedLinkSpec,
+    RouteSpec,
+    RoutingSpec,
     make_multihop_network,
     make_network,
+    make_routed_network,
     make_scheme,
     make_topology,
 )
@@ -34,10 +38,14 @@ __all__ = [
     "ExperimentResult",
     "LinkSpec",
     "MAIN_FLOW",
+    "RoutedLinkSpec",
+    "RouteSpec",
+    "RoutingSpec",
     "SchemeResult",
     "add_main_flow",
     "make_multihop_network",
     "make_network",
+    "make_routed_network",
     "make_scheme",
     "make_topology",
     "queue_delay_stats",

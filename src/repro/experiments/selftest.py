@@ -78,6 +78,27 @@ def flaky_run(marker: str, fail_times: int = 1, duration: float = 0.25,
     return result
 
 
+def sleepy_run(marker: str, sleep: float = 30.0, duration: float = 0.25,
+               dt: float = 0.004, seed: int = 0) -> ExperimentResult:
+    """Stall for ``sleep`` seconds on the first execution only.
+
+    The first run writes the ``marker`` file and then sleeps (timing out
+    under a per-spec deadline); any later run finds the marker and
+    completes immediately.  This is the resume-after-timeout fixture: a
+    spec that timed out in a journalled batch must be *re-executed* on
+    ``--resume`` — where it now succeeds — rather than treated as done.
+    Like :func:`flaky_run`, not reachable from the runner.
+    """
+    first = not os.path.exists(marker)
+    if first:
+        with open(marker, "w", encoding="ascii") as handle:
+            handle.write("slept")
+        time.sleep(sleep)
+    result = run(duration=duration, dt=dt, seed=seed)
+    result.data["slept"] = first
+    return result
+
+
 def hard_exit(duration: float = 0.25, dt: float = 0.004, seed: int = 0,
               code: int = 17) -> ExperimentResult:
     """Kill the interpreter outright — a worker-death (not raise) crash.

@@ -33,10 +33,15 @@ drivers import the runtime, not the reverse.
 from .build import (
     FaultSpec,
     LinkSpec,
+    RoutedLinkSpec,
+    RouteSpec,
+    RoutingSpec,
     flap_fault_specs,
     make_fault_schedule,
     make_multihop_network,
     make_network,
+    make_routed_network,
+    make_routed_topology,
     make_scheme,
     make_topology,
 )
@@ -78,6 +83,9 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
     "OUTCOMES",
     "ResultCache",
+    "RoutedLinkSpec",
+    "RouteSpec",
+    "RoutingSpec",
     "ScenarioSpec",
     "SpecExecutionError",
     "SpecFailure",
@@ -91,6 +99,8 @@ __all__ = [
     "make_fault_schedule",
     "make_multihop_network",
     "make_network",
+    "make_routed_network",
+    "make_routed_topology",
     "make_scheme",
     "make_topology",
     "metrics_record",

@@ -10,7 +10,7 @@ driver code is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..cc import (
     BasicDelay,
@@ -31,6 +31,8 @@ from ..simulator import (
     FaultSchedule,
     Network,
     Pie,
+    RoutedNetwork,
+    RoutedTopology,
     Topology,
     TopologyNetwork,
     mbps_to_bytes_per_sec,
@@ -95,6 +97,112 @@ class FaultSpec:
     drop_queued: bool = False
     delay_ms: float = 0.0
     loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class RoutedLinkSpec:
+    """Declarative description of one *directed* link of a routed topology.
+
+    The :class:`LinkSpec` sibling for node/table topologies: same units,
+    plus explicit endpoint node names.  Frozen with init-only scalar
+    fields, so it canonicalises into a
+    :class:`~repro.runtime.spec.ScenarioSpec`.
+
+    Attributes:
+        name: Link label, unique within the topology.
+        mbps: Link rate in Mbit/s.
+        src / dst: Endpoint node names (nodes are created on first
+            appearance, in declaration order).
+        delay_ms: Propagation delay from this link to its ``dst`` node
+            (final-hop wire time comes from the flow's own ``prop_rtt``).
+        buffer_ms: Queue depth in milliseconds at this link's rate.
+        aqm_target_ms: Switch the queue policy from drop-tail to PIE.
+    """
+
+    name: str
+    mbps: float
+    src: str
+    dst: str
+    delay_ms: float = 0.0
+    buffer_ms: float = 100.0
+    aqm_target_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """One explicit routing-table entry: ``node`` reaches ``dst`` through
+    ``links`` (primary first, then backups in failover order)."""
+
+    node: str
+    dst: str
+    links: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """Declarative description of a routed topology and its tables.
+
+    Attributes:
+        links: The directed links (nodes are inferred from endpoints).
+        routes: Explicit table entries; an empty tuple computes every
+            table from shortest paths
+            (:meth:`~repro.simulator.routing.RoutedTopology.compute_routes`),
+            so backups fall out of the graph automatically.
+        convergence_ms: Reroute convergence delay in milliseconds — the
+            lag between a link-state change and tables re-resolving.
+        monitor: Monitor link name; defaults to the narrowest link.
+    """
+
+    links: Tuple[RoutedLinkSpec, ...]
+    routes: Tuple[RouteSpec, ...] = ()
+    convergence_ms: float = 50.0
+    monitor: Optional[str] = None
+
+
+def make_routed_topology(routing: RoutingSpec, seed: int = 0
+                         ) -> RoutedTopology:
+    """Wire a :class:`RoutingSpec` into a concrete :class:`RoutedTopology`."""
+    if not routing.links:
+        raise ValueError("RoutingSpec needs at least one link")
+    topology = RoutedTopology(
+        name="+".join(spec.name for spec in routing.links))
+    for spec in routing.links:
+        for name in (spec.src, spec.dst):
+            if name not in {node.name for node in topology.nodes}:
+                topology.add_node(name)
+    for position, spec in enumerate(routing.links):
+        mu = mbps_to_bytes_per_sec(spec.mbps)
+        topology.add_link(spec.name, mu, src=spec.src, dst=spec.dst,
+                          delay=spec.delay_ms / 1e3,
+                          policy=_policy_for(mu, spec.buffer_ms,
+                                             spec.aqm_target_ms,
+                                             seed + position))
+    topology.compute_routes()
+    for route in routing.routes:
+        topology.set_route(route.node, route.dst, tuple(route.links))
+    monitor = routing.monitor
+    if monitor is None:
+        monitor = min(routing.links, key=lambda spec: spec.mbps).name
+    topology.set_monitor(monitor)
+    return topology
+
+
+def make_routed_network(routing: RoutingSpec, dt: float = 0.002,
+                        seed: int = 0, faults: Sequence[FaultSpec] = ()
+                        ) -> RoutedNetwork:
+    """A :class:`RoutedNetwork` over the described node/link graph.
+
+    The destination-routed sibling of :func:`make_multihop_network`: same
+    seeding and fault arming, but flows are added with source/destination
+    nodes and chunks follow the routing tables — so an armed ``link_flap``
+    triggers failover instead of a dead end.
+    """
+    network = RoutedNetwork(make_routed_topology(routing, seed=seed),
+                            dt=dt, seed=seed,
+                            convergence_delay=routing.convergence_ms / 1e3)
+    if faults:
+        make_fault_schedule(faults, seed=seed).apply(network)
+    return network
 
 
 def make_fault_schedule(faults: Sequence[FaultSpec],

@@ -22,10 +22,13 @@ it.  Failures become structured :class:`SpecFailure` records — placed at
 the spec's result position with ``on_error="record"``, or raised as one
 :class:`SpecExecutionError` after the rest of the batch completes with
 the default ``on_error="raise"``.  Failed specs are *never* written to
-the result cache.  Retries back off exponentially
-(``retry_backoff * 2**(attempt-1)`` seconds).  Because the child pickles
-its result into the pipe, hardened results are bit-identical to pool and
-serial results regardless of worker width.
+the result cache.  Retries back off with seeded full jitter: attempt
+``n`` waits a uniform draw from ``[0, min(retry_backoff_max,
+retry_backoff * 2**(n-1)))`` seconds, the draw keyed on
+``(spec hash, attempt)`` so it is deterministic per spec and attempt —
+concurrent retries decorrelate without making metrics irreproducible.
+Because the child pickles its result into the pipe, hardened results are
+bit-identical to pool and serial results regardless of worker width.
 
 With ``journal_path`` set, every spec's terminal state is appended to a
 :class:`~repro.runtime.journal.BatchJournal` the moment it resolves;
@@ -41,6 +44,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import random
 import time
 import traceback
 from dataclasses import dataclass
@@ -208,8 +212,12 @@ class BatchExecutor:
             running at the deadline is terminated (hardened mode).
         max_retries: Extra attempts after a failed one — error, timeout,
             or crash alike (hardened mode).
-        retry_backoff: Base of the exponential retry delay:
-            attempt ``n`` waits ``retry_backoff * 2**(n-1)`` seconds.
+        retry_backoff: Base of the exponential retry ceiling: attempt
+            ``n`` waits a deterministic full-jitter draw from
+            ``[0, min(retry_backoff_max, retry_backoff * 2**(n-1)))``
+            seconds (see :meth:`retry_delay`).
+        retry_backoff_max: Cap on the exponential ceiling, so deep retry
+            chains cannot back off unboundedly.
         on_error: ``"raise"`` (default) raises :class:`SpecExecutionError`
             once the rest of the batch has completed; ``"record"`` places
             the :class:`SpecFailure` at the spec's result position.
@@ -224,7 +232,8 @@ class BatchExecutor:
                  cache: Optional[ResultCache] = None,
                  metrics_path: Optional[str] = None, *,
                  timeout: Optional[float] = None, max_retries: int = 0,
-                 retry_backoff: float = 0.25, on_error: str = "raise",
+                 retry_backoff: float = 0.25,
+                 retry_backoff_max: float = 8.0, on_error: str = "raise",
                  journal_path: Union[str, os.PathLike, None] = None,
                  resume: bool = False) -> None:
         self.workers = configured_workers() if workers is None else max(1, workers)
@@ -237,12 +246,16 @@ class BatchExecutor:
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, "
                              f"got {retry_backoff}")
+        if retry_backoff_max <= 0:
+            raise ValueError(f"retry_backoff_max must be positive, "
+                             f"got {retry_backoff_max}")
         if on_error not in ("raise", "record"):
             raise ValueError(f"on_error must be 'raise' or 'record', "
                              f"got {on_error!r}")
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self.on_error = on_error
         self.journal_path = journal_path
         self.resume = resume
@@ -262,6 +275,21 @@ class BatchExecutor:
         """
         return (self.timeout is not None or self.max_retries > 0
                 or self.on_error == "record")
+
+    def retry_delay(self, spec_hash: str, attempt: int) -> float:
+        """Backoff before re-running ``spec_hash`` after attempt ``attempt``.
+
+        Full jitter over a capped exponential ceiling: a uniform draw from
+        ``[0, min(retry_backoff_max, retry_backoff * 2**(attempt-1)))``.
+        The draw comes from a private RNG seeded on ``(spec_hash,
+        attempt)``, so the same spec's same attempt always waits the same
+        time — retries of a re-run batch are reproducible — while
+        concurrent retries of *different* specs decorrelate instead of
+        thundering back in lockstep.
+        """
+        ceiling = min(self.retry_backoff_max,
+                      self.retry_backoff * (2 ** (attempt - 1)))
+        return random.Random(f"{spec_hash}:{attempt}").random() * ceiling
 
     def _ensure_journal(self) -> Optional[BatchJournal]:
         if self.journal_path is not None and self._journal is None:
@@ -402,8 +430,9 @@ class BatchExecutor:
 
         Returns, per spec, either ``(seconds, pid, result, attempts)`` or
         a terminal :class:`SpecFailure`.  A failed attempt (raise, timeout,
-        worker death) is retried with exponential backoff while attempts
-        remain; sibling specs keep running throughout.  Terminal states
+        worker death) is retried after a seeded full-jitter backoff
+        (:meth:`retry_delay`) while attempts remain; sibling specs keep
+        running throughout.  Terminal states
         are journalled the moment they settle, so an interrupted batch
         leaves a truthful journal behind.
         """
@@ -481,7 +510,7 @@ class BatchExecutor:
                                        outcome="ok", attempts=attempt,
                                        seconds=seconds)
                 elif attempt <= self.max_retries:
-                    delay = self.retry_backoff * (2 ** (attempt - 1))
+                    delay = self.retry_delay(hashes[index], attempt)
                     pending.append((index, attempt + 1,
                                     time.monotonic() + delay))
                 else:

@@ -18,6 +18,7 @@ from .faults import (
 from .link import BottleneckLink
 from .measurement import FlowMeasurement, WindowedCounter
 from .packet import Ack, Chunk, FlowStats, LossEvent
+from .routing import Node, RoutedNetwork, RoutedTopology, RoutingTable
 from .source import BackloggedSource, FiniteSource, PacedSource, Source
 from .telemetry import (
     EVENT_KINDS,
@@ -62,11 +63,15 @@ __all__ = [
     "LossEvent",
     "MSS_BYTES",
     "Network",
+    "Node",
     "PacedSource",
     "Path",
     "Pie",
     "QueuePolicy",
     "Recorder",
+    "RoutedNetwork",
+    "RoutedTopology",
+    "RoutingTable",
     "Source",
     "Topology",
     "TopologyNetwork",

@@ -148,6 +148,16 @@ class FaultSchedule:
 
     The constructor checks every event and rejects overlapping windows on
     the same link (the restore logic would otherwise clobber saved state).
+    Windows that merely *touch* — ``current.start == previous.end`` on the
+    same link — are legal, with a guaranteed ordering: :meth:`apply`
+    schedules each event's start then end in ascending-start order, and
+    the engine dispatches same-time events in scheduling order, so at a
+    shared boundary the earlier window's restore always runs *before* the
+    later window's effect is applied.  Back-to-back windows therefore
+    never see each other's modified link state (a second ``capacity_dip``
+    scales the nominal capacity, not the already-dipped one); see
+    ``tests/test_faults.py::TestFaultEventValidation::
+    test_touching_windows_restore_before_apply``.
     :meth:`apply` arms the schedule on a network: one ``schedule_call``
     per window edge, each emitting a ``fault_start``/``fault_end`` trace
     record when a sink is attached.
@@ -229,6 +239,7 @@ class FaultSchedule:
                 detail["flushed_bytes"] = \
                     network.flush_link_queue(event.link)
             link.take_down(refuse_arrivals=event.drop_queued)
+            network.on_link_down(event.link)
         elif event.kind == "delay_jitter":
             delays = network.topology.delays
             active.saved_delay = delays[position]
@@ -250,6 +261,7 @@ class FaultSchedule:
             link.set_capacity(active.saved_capacity)
         elif event.kind == "link_flap":
             link.bring_up()
+            network.on_link_up(event.link)
         elif event.kind == "delay_jitter":
             network.topology.delays[position] = active.saved_delay
         elif event.kind == "burst_loss":

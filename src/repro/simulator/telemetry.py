@@ -51,6 +51,17 @@ Per-kind payload fields:
     ``loss_rate``, ``drop_queued``, ``flushed_bytes``).  Fault events are
     control-plane and carry no ``flow_id``/``flow`` — they describe the
     network, not a flow.
+``route_change``
+    A :class:`~repro.simulator.routing.RoutedNetwork` convergence pass
+    re-resolved one routing-table entry: ``node``, ``destination``,
+    ``from_link`` (previous next hop, or null on first resolution),
+    ``to_link`` (new next hop, or null when no candidate survives).
+    Control-plane like the fault kinds: no ``flow_id``/``flow``.
+``blackhole_start`` / ``blackhole_end``
+    A routed flow lost (regained) every path to its destination:
+    ``node`` (the flow's source node) and ``destination``.  While
+    blackholed the flow's emissions become loss feedback instead of
+    entering any queue.
 
 Sinks support three orthogonal reductions, applied in ``emit``:
 
@@ -91,10 +102,18 @@ EVENT_KINDS = frozenset({
     "flow_finish",
     "fault_start",
     "fault_end",
+    "route_change",
+    "blackhole_start",
+    "blackhole_end",
 })
 
-#: Link-fault lifecycle kinds — the only kinds without a flow envelope.
+#: Link-fault lifecycle kinds.
 FAULT_KINDS = frozenset({"fault_start", "fault_end"})
+
+#: Control-plane kinds without a flow envelope: they describe the network
+#: (a fault window, a routing-table entry), not any one flow, so per-flow
+#: filters never discard them.
+CONTROL_KINDS = FAULT_KINDS | {"route_change"}
 
 #: High-volume data-plane kinds that 1-in-N sampling applies to.  Everything
 #: else (drops, losses, mode changes, flow lifecycle) is rare and always kept.
@@ -117,6 +136,9 @@ _REQUIRED_FIELDS = {
     "flow_finish": ("fct",),
     "fault_start": ("link", "fault"),
     "fault_end": ("link", "fault"),
+    "route_change": ("node", "destination", "from_link", "to_link"),
+    "blackhole_start": ("node", "destination"),
+    "blackhole_end": ("node", "destination"),
 }
 
 _NUMBER = (int, float)
@@ -135,11 +157,12 @@ def validate_trace_record(record: dict) -> None:
     if not isinstance(time, _NUMBER) or isinstance(time, bool) or time < 0:
         raise ValueError(f"trace record needs a non-negative numeric "
                          f"'time', got {time!r}")
-    if kind in FAULT_KINDS:
-        fault = record.get("fault")
-        if not isinstance(fault, str):
-            raise ValueError(f"{kind} record needs a string 'fault' kind, "
-                             f"got {fault!r}")
+    if kind in CONTROL_KINDS:
+        if kind in FAULT_KINDS:
+            fault = record.get("fault")
+            if not isinstance(fault, str):
+                raise ValueError(f"{kind} record needs a string 'fault' "
+                                 f"kind, got {fault!r}")
     else:
         if not isinstance(record.get("flow_id"), int):
             raise ValueError(f"trace record needs an integer 'flow_id', "
@@ -160,6 +183,17 @@ def validate_trace_record(record: dict) -> None:
     if kind in LINK_KINDS and not isinstance(record.get("link"), str):
         raise ValueError(f"{kind} record needs a string 'link', "
                          f"got {record.get('link')!r}")
+    if kind in ("route_change", "blackhole_start", "blackhole_end"):
+        for name in ("node", "destination"):
+            if not isinstance(record.get(name), str):
+                raise ValueError(f"{kind} record needs a string {name!r}, "
+                                 f"got {record.get(name)!r}")
+    if kind == "route_change":
+        for name in ("from_link", "to_link"):
+            value = record.get(name)
+            if value is not None and not isinstance(value, str):
+                raise ValueError(f"route_change field {name!r} must be a "
+                                 f"link name or null, got {value!r}")
 
 
 class TraceSink:
@@ -206,11 +240,12 @@ class TraceSink:
         kind = record["event"]
         if self.events is not None and kind not in self.events:
             return False
-        if self.flows is not None and kind not in FAULT_KINDS and \
+        if self.flows is not None and kind not in CONTROL_KINDS and \
                 record["flow"] not in self.flows and \
                 record["flow_id"] not in self.flows:
-            # Fault events have no flow envelope: a flow filter never
-            # discards them (they are context for whichever flows remain).
+            # Control-plane events (faults, route changes) have no flow
+            # envelope: a flow filter never discards them (they are
+            # context for whichever flows remain).
             return False
         if self.links is not None and kind in LINK_KINDS and \
                 record["link"] not in self.links:

@@ -422,9 +422,7 @@ class TopologyNetwork:
         for drop in drops:
             flushed += drop.lost_bytes
             flow = self.flows[drop.flow_id]
-            route = self._routes[drop.flow_id]
-            hop = route.index(position)
-            feedback = self._loss_feedback_delay(route, hop, flow)
+            feedback, hop = self._drop_feedback_delay(position, drop.flow_id)
             self._push(self.now + feedback, self._LOSS, drop)
             if sink is not None:
                 sink.emit({
@@ -433,6 +431,31 @@ class TopologyNetwork:
                     "link": link.name, "hop": hop,
                     "bytes": drop.lost_bytes})
         return flushed
+
+    def _drop_feedback_delay(self, position: int,
+                             flow_id: int) -> Tuple[float, int]:
+        """Feedback delay and hop index for a queue drop at ``position``.
+
+        Path-routed flows locate the link inside their frozen route;
+        destination-routed subclasses override this, because a chunk's hop
+        index is not derivable from the link alone once tables can change.
+        """
+        route = self._routes[flow_id]
+        hop = route.index(position)
+        return (self._loss_feedback_delay(route, hop, self.flows[flow_id]),
+                hop)
+
+    def on_link_down(self, name: str) -> None:
+        """Routing hook: the named link stopped carrying traffic.
+
+        Called by :mod:`repro.simulator.faults` when a ``link_flap``
+        down-window opens.  Path-routed networks have nowhere to move
+        traffic, so this is a no-op; :class:`~repro.simulator.routing.
+        RoutedNetwork` schedules a convergence pass.
+        """
+
+    def on_link_up(self, name: str) -> None:
+        """Routing hook: the named link came back into service."""
 
     # ------------------------------------------------------------------ #
     # Main loop

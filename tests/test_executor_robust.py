@@ -28,6 +28,7 @@ from repro.runtime.metrics import validate_metrics_record
 
 RUN = "repro.experiments.selftest:run"
 FLAKY = "repro.experiments.selftest:flaky_run"
+SLEEPY = "repro.experiments.selftest:sleepy_run"
 HARD_EXIT = "repro.experiments.selftest:hard_exit"
 
 
@@ -137,8 +138,39 @@ class TestRetries:
             BatchExecutor(max_retries=-1)
         with pytest.raises(ValueError, match="retry_backoff"):
             BatchExecutor(max_retries=1, retry_backoff=-0.1)
+        with pytest.raises(ValueError, match="retry_backoff_max"):
+            BatchExecutor(max_retries=1, retry_backoff_max=0.0)
         with pytest.raises(ValueError, match="on_error"):
             BatchExecutor(on_error="ignore")
+
+
+class TestRetryJitter:
+    """Seeded full-jitter backoff: deterministic, bounded, capped."""
+
+    def test_delay_deterministic_per_spec_and_attempt(self):
+        executor = BatchExecutor(max_retries=3, retry_backoff=0.5)
+        twin = BatchExecutor(max_retries=3, retry_backoff=0.5)
+        for attempt in (1, 2, 3):
+            delay = executor.retry_delay("a" * 64, attempt)
+            assert delay == twin.retry_delay("a" * 64, attempt)
+        # Different specs and attempts draw different jitter.
+        draws = {executor.retry_delay(hash_ * 64, attempt)
+                 for hash_ in "ab" for attempt in (1, 2, 3)}
+        assert len(draws) == 6
+
+    def test_delay_bounded_by_exponential_ceiling(self):
+        executor = BatchExecutor(max_retries=8, retry_backoff=0.5,
+                                 retry_backoff_max=8.0)
+        for attempt in range(1, 9):
+            ceiling = min(8.0, 0.5 * 2 ** (attempt - 1))
+            delay = executor.retry_delay("c" * 64, attempt)
+            assert 0.0 <= delay <= ceiling
+
+    def test_cap_applies_to_late_attempts(self):
+        executor = BatchExecutor(max_retries=64, retry_backoff=1.0,
+                                 retry_backoff_max=2.0)
+        # 2**63 seconds without the cap; with it, never above 2s.
+        assert executor.retry_delay("d" * 64, 64) <= 2.0
 
 
 class TestBitIdentity:
@@ -221,6 +253,30 @@ class TestJournalAndResume:
         assert journal.outcome_of(specs[1].spec_hash()) == "error"
         raw_lines = journal_path.read_text().splitlines()
         assert len(raw_lines) == 4  # two per run, append-only
+
+    def test_resume_reexecutes_timed_out_spec(self, tmp_path):
+        """A timed-out spec is unfinished work, not a terminal verdict:
+        ``--resume`` must run it again (where, the stall being first-run
+        only, it now succeeds)."""
+        journal_path = tmp_path / "batch.jsonl"
+        marker = str(tmp_path / "sleepy-marker")
+        spec = ScenarioSpec.make(SLEEPY, marker=marker, sleep=30.0)
+        first = BatchExecutor(workers=1, timeout=0.4, on_error="record",
+                              journal_path=journal_path)
+        failure = first.run([spec])[0]
+        assert isinstance(failure, SpecFailure)
+        assert failure.outcome == "timeout"
+        journal = BatchJournal(journal_path, resume=True)
+        assert journal.outcome_of(spec.spec_hash()) == "timeout"
+
+        resumed = BatchExecutor(workers=1, timeout=0.4, on_error="record",
+                                journal_path=journal_path, resume=True)
+        result = resumed.run([spec])[0]
+        assert not isinstance(result, SpecFailure)
+        assert result.data["slept"] is False  # genuinely re-executed
+        assert _outcomes(resumed) == [("miss", "ok", 1)]
+        assert BatchJournal(journal_path,
+                            resume=True).outcome_of(spec.spec_hash()) == "ok"
 
     def test_fresh_run_truncates_journal(self, tmp_path):
         journal_path = tmp_path / "batch.jsonl"

@@ -74,6 +74,23 @@ class TestFaultEventValidation:
                                   FaultEvent("link_flap", "lan", 1.0, 2.0)])
         assert len(schedule) == 2
 
+    def test_touching_windows_restore_before_apply(self):
+        """Back-to-back windows on one link: the earlier window's restore
+        runs before the later window's effect, so the second dip scales
+        the *nominal* capacity — never the already-dipped one."""
+        network = _two_hop(faults=(
+            FaultSpec("capacity_dip", "wan", 1.0, 1.0, factor=0.5),
+            FaultSpec("capacity_dip", "wan", 2.0, 1.0, factor=0.25),))
+        wan = _link(network, "wan")
+        nominal = wan.capacity
+        network.run(1.5)
+        assert wan.capacity == pytest.approx(nominal * 0.5)
+        network.run(2.5)
+        # Second window active: 0.25 * nominal, not 0.25 * 0.5 * nominal.
+        assert wan.capacity == pytest.approx(nominal * 0.25)
+        network.run(3.5)
+        assert wan.capacity == nominal  # the exact original float
+
     def test_unknown_link_rejected_at_apply(self):
         network = _two_hop()
         schedule = FaultSchedule([FaultEvent("link_flap", "nope", 1.0, 1.0)])
