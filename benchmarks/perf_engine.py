@@ -9,6 +9,13 @@ Times three representative scenarios end to end (no caching, no pytest):
                       traffic at 50 % load (the Figure 9 regime, and the
                       historical hot spot: thousands of short flows churn
                       through the engine),
+* ``fig09_fluid``   — the same regime with the cross-traffic crowd as one
+                      fluid-aggregate class at the per-flow run's scale
+                      (~2535 flows),
+* ``fig09_fluid100k`` — the fluid class standing for 100 000 flows; the
+                      pair demonstrates near-constant cost in the flow
+                      count (tier-1 asserts the 100k run stays within
+                      1.3x of the 2.5k run),
 * ``parking_lot3``  — a Nimbus flow over a three-hop parking lot against
                       two single-hop Cubic cross flows (the multi-hop
                       topology hot path: per-hop service plus hop-forwarding
@@ -54,7 +61,7 @@ from repro.runtime.build import (  # noqa: E402
     make_multihop_network,
     make_network,
 )
-from repro.simulator import Flow, mbps_to_bytes_per_sec  # noqa: E402
+from repro.simulator import FluidClass, Flow, mbps_to_bytes_per_sec  # noqa: E402
 from repro.traffic import WanTrafficGenerator, WanWorkloadConfig  # noqa: E402
 
 #: Default location of the tracked trajectory file (repo root).
@@ -76,9 +83,13 @@ def _git_commit() -> Optional[str]:
         out = subprocess.run(
             ["git", "-C", _ROOT, "rev-parse", "HEAD"],
             capture_output=True, text=True, timeout=10)
+        # The trajectory file itself is excluded from the dirtiness probe:
+        # re-recording it is the whole point of a baseline run, and a
+        # modified BENCH_engine.json must not taint its own provenance.
         status = subprocess.run(
             ["git", "-C", _ROOT, "status", "--porcelain",
-             "--untracked-files=no"],
+             "--untracked-files=no", "--", ".",
+             ":(exclude)BENCH_engine.json"],
             capture_output=True, text=True, timeout=10)
     except (OSError, subprocess.SubprocessError):
         return None
@@ -119,6 +130,37 @@ def _scenario_fig09_wan() -> Dict[str, float]:
     return _run_and_measure(network, duration=15.0)
 
 
+def _fig09_fluid(arrivals_per_sec: float) -> Dict[str, float]:
+    """Figure-9 regime with the cross-traffic crowd as one fluid class.
+
+    ``arrivals_per_sec`` sets how many background flows the 15 s run
+    stands for; the class rescales flow sizes so the offered load stays
+    at 50 % regardless, which is what makes the timing near-constant in
+    the flow count.
+    """
+    link_mbps = 96.0
+    network = make_network(link_mbps=link_mbps, buffer_ms=100.0, dt=0.002,
+                           seed=1)
+    mu = mbps_to_bytes_per_sec(link_mbps)
+    network.add_flow(Flow(cc=Nimbus(mu=mu), prop_rtt=0.05, name="nimbus"))
+    fluid = FluidClass("wan", mu, kind="elastic", load=0.5, rtt=0.05,
+                       arrivals_per_sec=arrivals_per_sec, seed=1)
+    network.attach_fluid_class(fluid)
+    stats = _run_and_measure(network, duration=15.0)
+    stats["cross_flows"] = float(fluid.flows_created)
+    return stats
+
+
+def _scenario_fig09_fluid() -> Dict[str, float]:
+    """Fluid Figure 9 at the per-flow run's crowd size (~2535 flows/15 s)."""
+    return _fig09_fluid(arrivals_per_sec=2535.0 / 15.0)
+
+
+def _scenario_fig09_fluid100k() -> Dict[str, float]:
+    """Fluid Figure 9 standing for 100 000 background flows in 15 s."""
+    return _fig09_fluid(arrivals_per_sec=100000.0 / 15.0)
+
+
 def _scenario_parking_lot3() -> Dict[str, float]:
     """Three-hop parking lot: Nimbus end to end, two one-hop Cubic crosses."""
     link_mbps = 48.0
@@ -138,6 +180,8 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "cruise": _scenario_cruise,
     "contention16": _scenario_contention16,
     "fig09_wan": _scenario_fig09_wan,
+    "fig09_fluid": _scenario_fig09_fluid,
+    "fig09_fluid100k": _scenario_fig09_fluid100k,
     "parking_lot3": _scenario_parking_lot3,
 }
 
@@ -200,6 +244,12 @@ def check_against_baseline(results: Dict[str, Dict[str, float]],
         print(f"cannot read baseline {baseline_path}: {error}",
               file=sys.stderr)
         return 2
+    commit = baseline.get("git_commit")
+    if isinstance(commit, str) and commit.endswith("-dirty"):
+        print(f"warning: baseline {baseline_path} was recorded from a "
+              f"dirty working tree ({commit}); its numbers may not match "
+              f"any committed revision — re-record from a clean tree",
+              file=sys.stderr)
     failures = []
     for name, stats in sorted(results.items()):
         ref = baseline.get("scenarios", {}).get(name)

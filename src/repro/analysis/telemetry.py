@@ -66,24 +66,43 @@ def load_metrics(path: str) -> List[dict]:
     return _load(path, validate_metrics_record)
 
 
-def trace_summary(records: Iterable[dict]) -> Dict[str, Counter]:
-    """Event counts overall, per flow, and per link.
+def trace_summary(records: Iterable[dict]) -> Dict[str, dict]:
+    """Event counts overall, per flow, per link, and per fluid class.
 
-    Returns a dict with three counters: ``events`` (by event kind),
+    Returns a dict with three counters — ``events`` (by event kind),
     ``flows`` (events per flow label — fault events carry none and are
     counted only under ``events``/``links``), and ``links`` (link-located
-    events per link name).
+    events per link name) — plus ``fluid``: the *latest*
+    ``fluid_sample`` snapshot per aggregate class, keyed by
+    ``"link/class"`` and carrying the cumulative offered/served/dropped
+    byte counters, current backlog, send rate, and live flow estimate.
     """
     events: Counter = Counter()
     flows: Counter = Counter()
     links: Counter = Counter()
+    fluid: Dict[str, dict] = {}
     for record in records:
         events[record["event"]] += 1
         if "flow" in record:
             flows[record["flow"]] += 1
         if record["event"] in LINK_KINDS:
             links[record["link"]] += 1
-    return {"events": events, "flows": flows, "links": links}
+        if record["event"] == "fluid_sample":
+            key = f"{record['link']}/{record['class']}"
+            latest = fluid.get(key)
+            if latest is None or record["time"] >= latest["time"]:
+                fluid[key] = {
+                    "time": record["time"],
+                    "kind": record["kind"],
+                    "offered": record["offered"],
+                    "served": record["served"],
+                    "dropped": record["dropped"],
+                    "backlog": record["backlog"],
+                    "rate": record["rate"],
+                    "flows": record["flows"],
+                }
+    return {"events": events, "flows": flows, "links": links,
+            "fluid": fluid}
 
 
 def metrics_summary(records: Iterable[dict]) -> Dict[str, Optional[float]]:
@@ -119,13 +138,35 @@ def _counter_table(title: str, counter: Counter, indent: str = "  ") -> str:
     return "\n".join(lines)
 
 
+def _fluid_table(fluid: Dict[str, dict], indent: str = "  ") -> str:
+    lines = ["fluid classes:"]
+    width = max(len(key) for key in fluid)
+    header = (f"{indent}{'link/class':<{width}}  {'kind':<9}"
+              f"{'offered MB':>12}{'served MB':>12}{'dropped MB':>12}"
+              f"{'rate Mbit/s':>13}{'flows':>8}")
+    lines.append(header)
+    for key in sorted(fluid):
+        sample = fluid[key]
+        lines.append(
+            f"{indent}{key:<{width}}  {sample['kind']:<9}"
+            f"{sample['offered'] / 1e6:>12.2f}"
+            f"{sample['served'] / 1e6:>12.2f}"
+            f"{sample['dropped'] / 1e6:>12.2f}"
+            f"{sample['rate'] * 8.0 / 1e6:>13.2f}"
+            f"{sample['flows']:>8.0f}")
+    return "\n".join(lines)
+
+
 def render_trace_summary(records: Iterable[dict]) -> str:
     summary = trace_summary(records)
-    return "\n".join([
+    sections = [
         _counter_table("events:", summary["events"]),
         _counter_table("flows:", summary["flows"]),
         _counter_table("links:", summary["links"]),
-    ])
+    ]
+    if summary["fluid"]:
+        sections.append(_fluid_table(summary["fluid"]))
+    return "\n".join(sections)
 
 
 def render_metrics_summary(records: Iterable[dict]) -> str:

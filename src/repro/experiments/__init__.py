@@ -14,6 +14,7 @@ from . import (
     fig05_fft,
     fig06_elasticity_cdf,
     fig08_time_varying,
+    fig09_fluid,
     fig09_wan,
     fig10_copa_drop,
     fig11_video,
@@ -57,6 +58,7 @@ EXPERIMENT_INDEX = {
     "fig06": fig06_elasticity_cdf,
     "fig08": fig08_time_varying,
     "fig09": fig09_wan,
+    "fig09_fluid": fig09_fluid,
     "fig10": fig10_copa_drop,
     "fig11": fig11_video,
     "fig12": fig12_eta_tracking,

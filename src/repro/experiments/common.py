@@ -16,10 +16,12 @@ import numpy as np
 
 from ..analysis.metrics import ThroughputDelaySummary, summarize_flow
 from ..runtime.build import (
+    FluidClassSpec,
     LinkSpec,
     RoutedLinkSpec,
     RouteSpec,
     RoutingSpec,
+    attach_fluid_classes,
     make_multihop_network,
     make_network,
     make_routed_network,
@@ -36,6 +38,7 @@ CROSS_FLOW = "cross"
 __all__ = [
     "CROSS_FLOW",
     "ExperimentResult",
+    "FluidClassSpec",
     "LinkSpec",
     "MAIN_FLOW",
     "RoutedLinkSpec",
@@ -43,6 +46,7 @@ __all__ = [
     "RoutingSpec",
     "SchemeResult",
     "add_main_flow",
+    "attach_fluid_classes",
     "make_multihop_network",
     "make_network",
     "make_routed_network",

@@ -20,8 +20,10 @@ from ..simulator import mbps_to_bytes_per_sec
 from .common import (
     MAIN_FLOW,
     ExperimentResult,
+    FluidClassSpec,
     SchemeResult,
     add_main_flow,
+    attach_fluid_classes,
     make_network,
     queue_delay_stats,
 )
@@ -32,15 +34,29 @@ DEFAULT_SCHEMES = ("nimbus", "cubic", "bbr", "vegas", "copa", "pcc-vivace")
 def run_single(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
                buffer_ms: float = 100.0, load: float = 0.5,
                duration: float = 60.0, dt: float = 0.002, seed: int = 1,
+               fluid: int = 0, fluid_arrivals: float = 0.0,
                **scheme_overrides):
-    """Run one scheme against the WAN workload; returns (recorder, generator)."""
+    """Run one scheme against the WAN workload; returns (recorder, generator).
+
+    ``fluid=1`` replaces the per-flow cross-traffic generator with one
+    fluid-aggregate elastic class at the same load (``fluid_arrivals``
+    overrides its Poisson flow-arrival rate — how a run stands for 10^5
+    background flows at unchanged cost); the default ``fluid=0`` is the
+    per-flow path, bit-identical to a build without the parameters.
+    """
     network = make_network(link_mbps, buffer_ms=buffer_ms, dt=dt, seed=seed)
     flow = add_main_flow(network, scheme, link_mbps, prop_rtt=prop_rtt,
                          **scheme_overrides)
-    generator = WanTrafficGenerator(network, WanWorkloadConfig(
-        link_rate=mbps_to_bytes_per_sec(link_mbps), load=load,
-        prop_rtt=prop_rtt, seed=seed))
-    generator.start()
+    if fluid:
+        attach_fluid_classes(network, (FluidClassSpec(
+            "wan", kind="elastic", load=load, rtt_ms=prop_rtt * 1e3,
+            arrivals_per_sec=fluid_arrivals or None, seed=seed),))
+        generator = None
+    else:
+        generator = WanTrafficGenerator(network, WanWorkloadConfig(
+            link_rate=mbps_to_bytes_per_sec(link_mbps), load=load,
+            prop_rtt=prop_rtt, seed=seed))
+        generator.start()
     network.run(duration)
     return network, flow, generator
 
@@ -48,6 +64,7 @@ def run_single(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
 def run_case(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
              buffer_ms: float = 100.0, load: float = 0.5,
              duration: float = 60.0, dt: float = 0.002, seed: int = 1,
+             fluid: int = 0, fluid_arrivals: float = 0.0,
              **scheme_overrides) -> dict:
     """One scheme under the WAN workload, reduced to a picklable payload.
 
@@ -58,13 +75,28 @@ def run_case(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
     """
     network, _, generator = run_single(
         scheme, link_mbps=link_mbps, prop_rtt=prop_rtt, buffer_ms=buffer_ms,
-        load=load, duration=duration, dt=dt, seed=seed, **scheme_overrides)
+        load=load, duration=duration, dt=dt, seed=seed,
+        fluid=fluid, fluid_arrivals=fluid_arrivals, **scheme_overrides)
     recorder = network.recorder
     warmup = duration / 6.0
     rate_values, rate_probs = rate_cdf_over_intervals(
         recorder, MAIN_FLOW, interval=1.0, start=warmup)
     rtt_samples = recorder.rtt_samples(MAIN_FLOW) * 1e3
     summary = summarize_flow(recorder, MAIN_FLOW, scheme=scheme, start=warmup)
+    if generator is not None:
+        cross_flows = len(generator.records)
+        fct_records = generator.completed_records()
+        fluid_extra = {}
+    else:
+        cls = network.fluid_classes()[0]
+        cross_flows = int(cls.flows_created)
+        fct_records = []
+        fluid_extra = {"fluid": {
+            "offered_bytes": cls.total_offered,
+            "served_bytes": cls.total_served,
+            "dropped_bytes": cls.total_dropped,
+            "flows_created": cls.flows_created,
+        }}
     return {
         "scheme": scheme,
         "summary": summary,
@@ -72,12 +104,13 @@ def run_case(scheme: str, link_mbps: float = 96.0, prop_rtt: float = 0.05,
             "median_rtt_ms": (float(np.median(rtt_samples))
                               if rtt_samples.size else 0.0),
             "queue": queue_delay_stats(recorder, start=warmup),
-            "cross_flows": len(generator.records),
+            "cross_flows": cross_flows,
+            **fluid_extra,
         },
         "data": {
             "rate_cdf": (rate_values, rate_probs),
             "rtt_samples_ms": rtt_samples,
-            "fct_records": generator.completed_records(),
+            "fct_records": fct_records,
         },
     }
 

@@ -32,10 +32,12 @@ drivers import the runtime, not the reverse.
 
 from .build import (
     FaultSpec,
+    FluidClassSpec,
     LinkSpec,
     RoutedLinkSpec,
     RouteSpec,
     RoutingSpec,
+    attach_fluid_classes,
     flap_fault_specs,
     make_fault_schedule,
     make_multihop_network,
@@ -78,6 +80,7 @@ __all__ = [
     "BatchStats",
     "DependencyGraph",
     "FaultSpec",
+    "FluidClassSpec",
     "JOURNAL_SCHEMA_VERSION",
     "LinkSpec",
     "METRICS_SCHEMA_VERSION",
@@ -89,6 +92,7 @@ __all__ = [
     "ScenarioSpec",
     "SpecExecutionError",
     "SpecFailure",
+    "attach_fluid_classes",
     "batch_id",
     "cache_enabled",
     "configured_workers",

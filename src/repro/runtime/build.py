@@ -29,6 +29,7 @@ from ..simulator import (
     DropTail,
     FaultEvent,
     FaultSchedule,
+    FluidClass,
     Network,
     Pie,
     RoutedNetwork,
@@ -97,6 +98,62 @@ class FaultSpec:
     drop_queued: bool = False
     delay_ms: float = 0.0
     loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class FluidClassSpec:
+    """Declarative description of one fluid-aggregate cross-traffic class.
+
+    The :class:`LinkSpec` sibling for
+    :class:`~repro.simulator.fluid.FluidClass`: frozen with init-only
+    scalar fields, so a tuple of these canonicalises into a
+    :class:`~repro.runtime.spec.ScenarioSpec` and fluid scenarios hash,
+    cache, and batch like any other.  Rates are driver units (Mbit/s,
+    milliseconds); byte-domain conversion happens at build time against
+    the target link's capacity.
+
+    Attributes:
+        name: Class label, unique per network.
+        kind: ``"elastic"`` or ``"inelastic"``.
+        link: Name of the link the class loads; ``None`` targets the
+            monitor link.
+        load: Target offered load as a fraction of the link rate
+            (ignored when ``rate_mbps`` is given).
+        rate_mbps: Explicit target offered rate in Mbit/s.
+        rtt_ms: Propagation RTT of the member flows in milliseconds.
+        flows: ``> 0`` makes an elastic class a fixed population of this
+            many long-running backlogged flows (no arrivals).
+        arrivals_per_sec: Poisson flow-arrival rate; sampled flow sizes
+            are rescaled so offered load stays at the target while the
+            flow count scales freely.
+        seed: Seed of the class's private generator.
+    """
+
+    name: str
+    kind: str = "elastic"
+    link: Optional[str] = None
+    load: float = 0.5
+    rate_mbps: Optional[float] = None
+    rtt_ms: float = 50.0
+    flows: int = 0
+    arrivals_per_sec: Optional[float] = None
+    seed: int = 1
+
+
+def attach_fluid_classes(network: TopologyNetwork,
+                         fluid: Sequence[FluidClassSpec]) -> None:
+    """Attach the described fluid classes to a built network."""
+    for spec in fluid:
+        link = (network.topology.link(spec.link)
+                if spec.link is not None else network.link)
+        network.attach_fluid_class(
+            FluidClass(
+                spec.name, link.capacity, kind=spec.kind, load=spec.load,
+                rate=(mbps_to_bytes_per_sec(spec.rate_mbps)
+                      if spec.rate_mbps is not None else None),
+                rtt=spec.rtt_ms / 1e3, flows=spec.flows,
+                arrivals_per_sec=spec.arrivals_per_sec, seed=spec.seed),
+            link=spec.link)
 
 
 @dataclass(frozen=True)
@@ -285,36 +342,45 @@ def make_topology(links: Sequence[LinkSpec],
 
 def make_multihop_network(links: Sequence[LinkSpec], dt: float = 0.002,
                           seed: int = 0, monitor: Optional[str] = None,
-                          faults: Sequence[FaultSpec] = ()
+                          faults: Sequence[FaultSpec] = (),
+                          fluid: Sequence[FluidClassSpec] = ()
                           ) -> TopologyNetwork:
     """A :class:`TopologyNetwork` over the described chain of hops.
 
     The multi-hop sibling of :func:`make_network`: same defaults, same
     seeding, but flows may traverse any path over the named links.  Any
-    ``faults`` are armed on the fresh network (seeded from ``seed``); an
-    empty sequence leaves the engine untouched — bit-identical to a build
-    without the parameter.
+    ``faults`` are armed and ``fluid`` classes attached on the fresh
+    network (seeded from ``seed``); empty sequences leave the engine
+    untouched — bit-identical to a build without the parameters.
     """
     network = TopologyNetwork(make_topology(links, monitor=monitor,
                                             seed=seed),
                               dt=dt, seed=seed)
     if faults:
         make_fault_schedule(faults, seed=seed).apply(network)
+    if fluid:
+        attach_fluid_classes(network, fluid)
     return network
 
 
 def make_network(link_mbps: float, buffer_ms: float = 100.0,
                  dt: float = 0.002, seed: int = 0,
-                 aqm_target_ms: Optional[float] = None) -> Network:
+                 aqm_target_ms: Optional[float] = None,
+                 fluid: Sequence[FluidClassSpec] = ()) -> Network:
     """Standard single-bottleneck network used across experiments.
 
     ``aqm_target_ms`` switches the queue policy from drop-tail to PIE with
-    the given target delay (Appendix E.2).
+    the given target delay (Appendix E.2).  ``fluid`` attaches aggregate
+    background-traffic classes to the bottleneck; the default empty
+    sequence is bit-identical to a build without the parameter.
     """
     mu = mbps_to_bytes_per_sec(link_mbps)
     policy = _policy_for(mu, buffer_ms, aqm_target_ms, seed)
     link = BottleneckLink(capacity=mu, policy=policy)
-    return Network(link, dt=dt, seed=seed)
+    network = Network(link, dt=dt, seed=seed)
+    if fluid:
+        attach_fluid_classes(network, fluid)
+    return network
 
 
 def make_scheme(name: str, mu: float, **overrides) -> CongestionControl:

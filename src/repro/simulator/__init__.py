@@ -15,6 +15,7 @@ from .faults import (
     FaultEvent,
     FaultSchedule,
 )
+from .fluid import FluidClass, FluidLinkState
 from .link import BottleneckLink
 from .measurement import FlowMeasurement, WindowedCounter
 from .packet import Ack, Chunk, FlowStats, LossEvent
@@ -57,6 +58,8 @@ __all__ = [
     "Flow",
     "FlowMeasurement",
     "FlowStats",
+    "FluidClass",
+    "FluidLinkState",
     "FiniteSource",
     "JsonlTraceSink",
     "ListTraceSink",

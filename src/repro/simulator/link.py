@@ -72,14 +72,27 @@ class BottleneckLink:
         #: recorded as drops so the conservation law keeps holding.
         self.up = True
         self._refuse_arrivals = False
+        #: Fluid-aggregate background traffic sharing this queue, or
+        #: ``None`` (see :mod:`repro.simulator.fluid`).  Attached by
+        #: ``TopologyNetwork.attach_fluid_class``; with no fluid state
+        #: every hot-path site below reduces to one ``is None`` check and
+        #: the link's numbers are bit-identical to a fluid-free build.
+        self.fluid = None
 
     # ------------------------------------------------------------------ #
     # Queue state
     # ------------------------------------------------------------------ #
     @property
     def queue_delay(self) -> float:
-        """Current queueing delay in seconds if the queue drains at capacity."""
-        return self.queue_bytes / self.capacity
+        """Current queueing delay in seconds if the queue drains at capacity.
+
+        With a fluid aggregate attached, its backlog shares this queue, so
+        the delay every observer sees (admission policies, the recorder,
+        tracked flows' chunks) includes the fluid bytes ahead of them.
+        """
+        if self.fluid is None:
+            return self.queue_bytes / self.capacity
+        return (self.queue_bytes + self.fluid.backlog) / self.capacity
 
     def occupancy_of(self, flow_id: int) -> float:
         """Bytes currently queued that belong to ``flow_id``.
@@ -104,10 +117,44 @@ class BottleneckLink:
             self.total_drops += chunk.size
             drops.append(DropRecord(chunk.flow_id, chunk.size, now))
             return drops
-        admitted = self.policy.admit(chunk.size, self.queue_bytes,
+        fluid = self.fluid
+        if fluid is not None:
+            fluid.tick_offered += chunk.size
+            if fluid.loss_debt > 1e-9:
+                # This chunk is a proportional victim of an overflow the
+                # fluid aggregate absorbed earlier in the tick: in an
+                # interleaved FIFO these bytes would have been the ones
+                # dropped.  Trim them here so the flow sees its share of
+                # the congestion loss through the normal feedback path.
+                cut = min(chunk.size, fluid.loss_debt)
+                fluid.loss_debt -= cut
+                self.total_drops += cut
+                drops.append(DropRecord(chunk.flow_id, cut, now))
+                if cut >= chunk.size - 1e-9:
+                    return drops
+                chunk.size -= cut
+        queued = self.queue_bytes if self.fluid is None \
+            else self.queue_bytes + self.fluid.backlog
+        admitted = self.policy.admit(chunk.size, queued,
                                      self.queue_delay, now)
         admitted = max(0.0, min(chunk.size, admitted))
         lost = chunk.size - admitted
+        if lost > 1e-9 and fluid is not None:
+            fluid_backlog = fluid.backlog
+            if fluid_backlog > 1e-9:
+                # Interleaved-FIFO swap, the reverse of the fluid's loss
+                # debt: the fluid sheds its queue-share of this overflow
+                # and the freed space admits chunk bytes that would have
+                # been dropped, so congestion losses land on both halves
+                # of the traffic in proportion.
+                extra = lost * fluid_backlog \
+                    / (fluid_backlog + self.queue_bytes)
+                if extra > fluid_backlog:
+                    extra = fluid_backlog
+                if extra > 1e-9:
+                    fluid.shed(extra, now)
+                    admitted += extra
+                    lost = chunk.size - admitted
         if lost > 1e-9:
             drops.append(DropRecord(chunk.flow_id, lost, now))
             self.total_drops += lost
@@ -121,6 +168,8 @@ class BottleneckLink:
                 self._flow_bytes.get(flow_id, 0.0) + admitted
             self._flow_chunks[flow_id] = \
                 self._flow_chunks.get(flow_id, 0) + 1
+            if self.fluid is not None:
+                self.fluid.tick_admitted += admitted
         return drops
 
     def service(self, now: float, dt: float) -> list[Chunk]:
@@ -137,6 +186,12 @@ class BottleneckLink:
             self._service_credit = 0.0
             return []
         budget = self.capacity * dt + self._service_credit
+        fluid = self.fluid
+        if fluid is not None:
+            # The fluid aggregate shares the queue: it takes the byte-
+            # proportional share of this tick's budget up front (FIFO
+            # fairness between the packet queue and the fluid backlog).
+            budget = fluid.take_service(budget, now)
         served: list[Chunk] = []
         while self._queue and budget > 1e-9:
             head = self._queue[0]
@@ -160,6 +215,11 @@ class BottleneckLink:
             self.total_served += take.size
             self.policy.on_dequeue(take.size, self.queue_delay, now)
             served.append(take)
+        if fluid is not None and budget > 1e-9:
+            # Budget survives the loop only when the packet queue drained
+            # dry: hand the leftover to the fluid backlog so the link
+            # stays work-conserving across both halves of the queue.
+            budget -= fluid.drain_leftover(budget, now)
         # A work-conserving link does not bank credit while idle.
         self._service_credit = budget if self._queue else 0.0
         if self.queue_bytes < 1e-9:

@@ -62,6 +62,15 @@ Per-kind payload fields:
     ``node`` (the flow's source node) and ``destination``.  While
     blackholed the flow's emissions become loss feedback instead of
     entering any queue.
+``fluid_sample``
+    Periodic snapshot of one fluid-aggregate background class (see
+    :mod:`repro.simulator.fluid`), emitted every 50 ticks: ``link``,
+    ``class`` (the class name), ``kind`` (``elastic``/``inelastic``),
+    cumulative ``offered``/``served``/``dropped`` byte counters, the
+    current queue ``backlog`` in bytes, the instantaneous send ``rate``
+    in bytes/s, and the estimated live ``flows`` count.  Control-plane
+    like the fault kinds: no ``flow_id``/``flow`` envelope (a class
+    stands for a crowd, not a flow), but subject to the link filter.
 
 Sinks support three orthogonal reductions, applied in ``emit``:
 
@@ -105,22 +114,24 @@ EVENT_KINDS = frozenset({
     "route_change",
     "blackhole_start",
     "blackhole_end",
+    "fluid_sample",
 })
 
 #: Link-fault lifecycle kinds.
 FAULT_KINDS = frozenset({"fault_start", "fault_end"})
 
 #: Control-plane kinds without a flow envelope: they describe the network
-#: (a fault window, a routing-table entry), not any one flow, so per-flow
-#: filters never discard them.
-CONTROL_KINDS = FAULT_KINDS | {"route_change"}
+#: (a fault window, a routing-table entry, a fluid traffic class), not any
+#: one flow, so per-flow filters never discard them.
+CONTROL_KINDS = FAULT_KINDS | {"route_change", "fluid_sample"}
 
 #: High-volume data-plane kinds that 1-in-N sampling applies to.  Everything
 #: else (drops, losses, mode changes, flow lifecycle) is rare and always kept.
 SAMPLED_KINDS = frozenset({"enqueue", "hop", "delivery", "ack"})
 
 #: Kinds that carry a ``link`` field (and are subject to the link filter).
-LINK_KINDS = frozenset({"enqueue", "hop", "drop", "fault_start", "fault_end"})
+LINK_KINDS = frozenset({"enqueue", "hop", "drop", "fault_start", "fault_end",
+                        "fluid_sample"})
 
 #: Required payload fields per kind, beyond the common
 #: ``time``/``event``/``flow_id``/``flow`` envelope.
@@ -139,6 +150,8 @@ _REQUIRED_FIELDS = {
     "route_change": ("node", "destination", "from_link", "to_link"),
     "blackhole_start": ("node", "destination"),
     "blackhole_end": ("node", "destination"),
+    "fluid_sample": ("link", "class", "kind", "offered", "served",
+                     "dropped", "backlog", "rate", "flows"),
 }
 
 _NUMBER = (int, float)
@@ -175,7 +188,8 @@ def validate_trace_record(record: dict) -> None:
             raise ValueError(f"{kind} record is missing field {name!r}: "
                              f"{record}")
     for name in ("bytes", "seq", "queue_delay", "rtt", "start",
-                 "factor", "delay", "loss_rate", "flushed_bytes"):
+                 "factor", "delay", "loss_rate", "flushed_bytes",
+                 "offered", "served", "dropped", "backlog", "rate", "flows"):
         if name in record and (not isinstance(record[name], _NUMBER)
                                or isinstance(record[name], bool)):
             raise ValueError(f"{kind} field {name!r} must be numeric, "
@@ -194,6 +208,11 @@ def validate_trace_record(record: dict) -> None:
             if value is not None and not isinstance(value, str):
                 raise ValueError(f"route_change field {name!r} must be a "
                                  f"link name or null, got {value!r}")
+    if kind == "fluid_sample":
+        for name in ("class", "kind"):
+            if not isinstance(record.get(name), str):
+                raise ValueError(f"fluid_sample record needs a string "
+                                 f"{name!r}, got {record.get(name)!r}")
 
 
 class TraceSink:

@@ -64,6 +64,7 @@ from typing import (
 
 from .aqm import QueuePolicy
 from .endpoint import Flow
+from .fluid import FluidClass, FluidLinkState
 from .link import BottleneckLink
 from .packet import Ack, Chunk
 from .telemetry import TraceSink, sink_from_env
@@ -82,6 +83,11 @@ _SPILL_TICKS = 1 << 20
 #: Tick period of the ``REPRO_AUDIT=1`` conservation re-check (``REPRO_AUDIT``
 #: set to an integer > 1 overrides the period directly).
 _AUDIT_DEFAULT_TICKS = 256
+
+#: Tick period of the ``fluid_sample`` telemetry emission (trace-enabled
+#: runs with fluid classes only): 0.1 s at the standard 2 ms tick, the same
+#: cadence as the recorder's bins.
+_FLUID_TRACE_TICKS = 50
 
 
 class AuditError(AssertionError):
@@ -352,6 +358,10 @@ class TopologyNetwork:
         self._last_modes: Dict[int, str] = {}
         #: ``REPRO_AUDIT`` conservation re-check period in ticks (0 = off).
         self._audit_every = _audit_period_from_env()
+        #: Per-link fluid aggregates (see :mod:`repro.simulator.fluid`).
+        #: Empty for every network without fluid classes, in which case
+        #: the main loop's only extra cost is one truthiness check.
+        self._fluid_states: List[FluidLinkState] = []
         # engine_stats() counters; _counter above doubles as "scheduled".
         self._stats = _EngineStats()
 
@@ -403,6 +413,37 @@ class TopologyNetwork:
         """Run ``fn(now)`` at the given simulation time (>= now)."""
         self._push(max(time, self.now), self._CALL, fn)
 
+    def attach_fluid_class(self, fluid_class: FluidClass,
+                           link: Optional[str] = None) -> FluidClass:
+        """Attach an aggregate background-traffic class to a link.
+
+        ``link`` names any topology link; ``None`` targets the monitor
+        link (the single-bottleneck default).  Class names must be unique
+        across the network — the recorder and telemetry key on them.
+        Each tick the class offers bytes to that link's queue through its
+        normal admission policy, shares its service budget in proportion
+        to queued bytes, and participates in the conservation audit (see
+        :mod:`repro.simulator.fluid`).
+        """
+        target = self.link if link is None else self.topology.link(link)
+        for state in self._fluid_states:
+            for existing in state.classes:
+                if existing.name == fluid_class.name:
+                    raise ValueError(f"duplicate fluid class name "
+                                     f"{fluid_class.name!r}")
+        state = target.fluid
+        if state is None:
+            state = target.fluid = FluidLinkState(target)
+            self._fluid_states.append(state)
+        state.classes.append(fluid_class)
+        self.recorder.register_fluid(fluid_class, target.name)
+        return fluid_class
+
+    def fluid_classes(self) -> List[FluidClass]:
+        """Every attached fluid class, in attachment order."""
+        return [cls for state in self._fluid_states
+                for cls in state.classes]
+
     def flush_link_queue(self, name: str) -> float:
         """Drop every byte queued at the named link; returns bytes flushed.
 
@@ -414,11 +455,13 @@ class TopologyNetwork:
         """
         position = self.topology.index_of(name)
         link = self._links[position]
+        fluid_flushed = (link.fluid.flush(self.now)
+                         if link.fluid is not None else 0.0)
         drops = link.flush(self.now)
         if not drops:
-            return 0.0
+            return fluid_flushed
         sink = self._sink
-        flushed = 0.0
+        flushed = fluid_flushed
         for drop in drops:
             flushed += drop.lost_bytes
             flow = self.flows[drop.flow_id]
@@ -500,6 +543,8 @@ class TopologyNetwork:
                     events.append(entry)
         self._dispatch_events(now)
         self._emit_all(now)
+        if self._fluid_states:
+            self._fluid_tick(now)
         self._serve_links(now)
         self.recorder.on_tick(now)
         if self._sink is not None:
@@ -751,6 +796,78 @@ class TopologyNetwork:
             for flow_id in stale:
                 self._deactivate(flow_id)
 
+    def _fluid_tick(self, now: float) -> None:
+        """Offer every fluid class's per-tick demand to its link's queue.
+
+        Runs between flow emission and link service — the fluid analogue
+        of ``_emit_all`` — so fluid bytes compete with tracked flows'
+        chunks for the same admission decision and the same service
+        budget within a tick.
+        """
+        dt = self.dt
+        for state in self._fluid_states:
+            link = state.link
+            refuse = not link.up and link._refuse_arrivals
+            policy = link.policy
+            capacity = link.capacity
+            # Chunks emitted earlier in this same tick already claimed
+            # queue space; admit the fluid against the start-of-tick
+            # queue instead, so both halves of the traffic compete for
+            # the same freed space and a full buffer's overflow lands on
+            # both in proportion — not all on whoever enqueues last.
+            queued_base = link.queue_bytes - state.tick_admitted
+            if queued_base < 0.0:
+                queued_base = 0.0
+            state.tick_admitted = 0.0
+            chunk_arrivals = state.tick_offered
+            state.tick_offered = 0.0
+            state.loss_debt = 0.0
+            for cls in state.classes:
+                offered = cls.offer(now, dt, link.queue_delay)
+                if offered <= 0.0:
+                    continue
+                if refuse:
+                    admitted = 0.0
+                else:
+                    queued = queued_base + state.backlog
+                    admitted = policy.admit(offered, queued,
+                                            queued / capacity, now)
+                    admitted = max(0.0, min(offered, admitted))
+                    lost = offered - admitted
+                    if lost > 1e-9 and chunk_arrivals > 0.0:
+                        # In an interleaved FIFO each dropped packet of
+                        # this overflow belongs to the packet side with
+                        # probability equal to its arrival share.  Sample
+                        # that per lost packet (not spread byte-wise:
+                        # a loss-event of any size costs a tracked flow a
+                        # full multiplicative decrease, so incidence must
+                        # match, not just byte volume) and charge the
+                        # sampled bytes to the next arriving chunks via
+                        # the link's loss debt; the fluid keeps the rest,
+                        # requeueing what it no longer owns.
+                        transfer = cls.sample_overflow_transfer(
+                            lost, chunk_arrivals
+                            / (chunk_arrivals + offered))
+                        if transfer > 0.0:
+                            state.loss_debt += transfer
+                            admitted += transfer
+                cls.commit(offered, admitted, now)
+        sink = self._sink
+        if sink is not None and not self._tick % _FLUID_TRACE_TICKS:
+            for state in self._fluid_states:
+                link_name = state.link.name
+                for cls in state.classes:
+                    sink.emit({
+                        "time": now, "event": "fluid_sample",
+                        "link": link_name, "class": cls.name,
+                        "kind": cls.kind,
+                        "offered": cls.total_offered,
+                        "served": cls.total_served,
+                        "dropped": cls.total_dropped,
+                        "backlog": cls.backlog,
+                        "rate": cls.current_rate,
+                        "flows": cls.active_flows})
+
     def _serve_links(self, now: float) -> None:
         flows = self.flows
         last_hop = self._last_hop
@@ -826,27 +943,40 @@ class TopologyNetwork:
             "roster_size": len(self._active),
             "roster_peak": self._stats.roster_peak,
             "flows": len(self.flows),
+            "fluid_classes": sum(len(state.classes)
+                                 for state in self._fluid_states),
         }
 
     def audit_conservation(self) -> None:
         """Re-check the per-hop conservation law on every link.
 
         ``total_offered == total_served + queue_bytes + total_drops`` must
-        hold at each hop up to float-summation residue.  Runs every
-        ``REPRO_AUDIT`` ticks when that mode is on; raises
+        hold at each hop up to float-summation residue.  A link with fluid
+        classes attached extends both sides with the fluid aggregate's
+        counters (offered / served / backlog / dropped), so aggregated
+        background traffic is held to the same law as chunk traffic.
+        Runs every ``REPRO_AUDIT`` ticks when that mode is on; raises
         :class:`AuditError` naming the first violating link.
         """
         for link in self._links:
+            offered = link.total_offered
             balance = link.total_served + link.queue_bytes + link.total_drops
-            residue = abs(link.total_offered - balance)
-            if residue > 1e-6 + 1e-10 * link.total_offered:
+            fluid = link.fluid
+            if fluid is not None:
+                for cls in fluid.classes:
+                    offered += cls.total_offered
+                    balance += (cls.total_served + cls.backlog
+                                + cls.total_dropped)
+            residue = abs(offered - balance)
+            if residue > 1e-6 + 1e-10 * offered:
                 raise AuditError(
                     f"conservation violated at link {link.name!r} "
                     f"(tick {self._tick}, t={self.now:.6f}): "
-                    f"offered={link.total_offered!r} != "
+                    f"offered={offered!r} != "
                     f"served={link.total_served!r} + "
                     f"queued={link.queue_bytes!r} + "
-                    f"dropped={link.total_drops!r} (residue {residue:.3g})")
+                    f"dropped={link.total_drops!r} "
+                    f"(fluid terms included; residue {residue:.3g})")
 
     # ------------------------------------------------------------------ #
     # Queries used by experiments

@@ -88,6 +88,29 @@ class _LinkRecord:
         self.prev_drops = 0.0
 
 
+class _FluidRecord:
+    """Per-fluid-class accumulation buckets: offered/served/dropped bytes.
+
+    Same counter-differencing scheme as :class:`_LinkRecord`: the class's
+    own monotone byte counters are read once per bin boundary, so the
+    recorder adds nothing to the fluid model's per-tick cost.
+    """
+
+    __slots__ = ("source", "link_name", "offered_by_bin", "served_by_bin",
+                 "dropped_by_bin", "prev_offered", "prev_served",
+                 "prev_dropped")
+
+    def __init__(self, source, link_name: str) -> None:
+        self.source = source
+        self.link_name = link_name
+        self.offered_by_bin: List[float] = []
+        self.served_by_bin: List[float] = []
+        self.dropped_by_bin: List[float] = []
+        self.prev_offered = source.total_offered
+        self.prev_served = source.total_served
+        self.prev_dropped = source.total_dropped
+
+
 class Recorder:
     """Bins deliveries and queue observations into fixed-width intervals."""
 
@@ -113,6 +136,9 @@ class Recorder:
             record.link.name: record for record in self._link_records}
         #: The bin the link records are currently accumulating into.
         self._link_bin = 0
+        #: Fluid-class records, keyed by class name in attachment order
+        #: (classes register through the engine's ``attach_fluid_class``).
+        self._fluid_records: Dict[str, _FluidRecord] = {}
         #: Single-link fast path: when the only link is the monitor link,
         #: its occupancy is already captured by the per-tick queue-delay
         #: sum (``queue_delay == queue_bytes / capacity``), so the bin
@@ -131,6 +157,24 @@ class Recorder:
         if rec is None:
             rec = self._flows[flow_id] = _FlowRecord()
         return rec
+
+    def register_fluid(self, fluid_class, link_name: str) -> None:
+        """Start recording a fluid class's per-bin byte series.
+
+        Called by ``TopologyNetwork.attach_fluid_class``.  Classes may
+        attach mid-run: bins already closed are backfilled with zeros so
+        every fluid series aligns with :meth:`times`.
+        """
+        name = fluid_class.name
+        if name in self._fluid_records:
+            raise ValueError(f"fluid class {name!r} already registered")
+        record = _FluidRecord(fluid_class, link_name)
+        closed = len(self._link_records[0].served_by_bin)
+        if closed:
+            record.offered_by_bin = [0.0] * closed
+            record.served_by_bin = [0.0] * closed
+            record.dropped_by_bin = [0.0] * closed
+        self._fluid_records[name] = record
 
     def on_delivery(self, flow: "Flow", chunk: "Chunk", now: float) -> None:
         b = self._bin(now)
@@ -268,6 +312,32 @@ class Recorder:
         _, _, dropped = self._link_bins(self._link_record(link_name))
         return self._per_bin_rate(dropped)
 
+    def fluid_class_names(self) -> List[str]:
+        """Names of the recorded fluid classes, in registration order."""
+        return list(self._fluid_records)
+
+    def fluid_link_of(self, class_name: str) -> str:
+        """The link the named fluid class is attached to."""
+        return self._fluid_record(class_name).link_name
+
+    def fluid_offered_series(self, class_name: str
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) bytes the named fluid class offered per bin."""
+        offered, _, _ = self._fluid_bins(self._fluid_record(class_name))
+        return self._per_bin_rate(offered)
+
+    def fluid_served_series(self, class_name: str
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) bytes served to the named fluid class per bin."""
+        _, served, _ = self._fluid_bins(self._fluid_record(class_name))
+        return self._per_bin_rate(served)
+
+    def fluid_drop_series(self, class_name: str
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, Mbit/s) bytes dropped from the named fluid class per bin."""
+        _, _, dropped = self._fluid_bins(self._fluid_record(class_name))
+        return self._per_bin_rate(dropped)
+
     def mode_series(self, name: Optional[str] = None,
                     flow_id: Optional[int] = None
                     ) -> Tuple[np.ndarray, List[Optional[str]]]:
@@ -355,6 +425,21 @@ class Recorder:
                 record.occ_by_bin.extend([0.0] * gap)
                 record.served_by_bin.extend([0.0] * gap)
                 record.dropped_by_bin.extend([0.0] * gap)
+        for fluid in self._fluid_records.values():
+            source = fluid.source
+            offered = source.total_offered
+            fluid.offered_by_bin.append(offered - fluid.prev_offered)
+            fluid.prev_offered = offered
+            served = source.total_served
+            fluid.served_by_bin.append(served - fluid.prev_served)
+            fluid.prev_served = served
+            dropped = source.total_dropped
+            fluid.dropped_by_bin.append(dropped - fluid.prev_dropped)
+            fluid.prev_dropped = dropped
+            if gap > 0:
+                fluid.offered_by_bin.extend([0.0] * gap)
+                fluid.served_by_bin.extend([0.0] * gap)
+                fluid.dropped_by_bin.extend([0.0] * gap)
         self._link_bin = b
 
     def _link_bins(self, record: _LinkRecord
@@ -392,6 +477,37 @@ class Recorder:
             if current < n:
                 occ[current] += record.occ_acc
         return occ, served, dropped
+
+    def _fluid_record(self, class_name: str) -> _FluidRecord:
+        record = self._fluid_records.get(class_name)
+        if record is None:
+            raise KeyError(f"no recorded fluid class named {class_name!r}; "
+                           f"known: {self.fluid_class_names()}")
+        return record
+
+    def _fluid_bins(self, record: _FluidRecord
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(offered, served, dropped) bytes per bin for one fluid class.
+
+        Flushed bins come from the record's lists; the still-accumulating
+        bin is read live from the class's counters, mirroring
+        :meth:`_link_bins`.
+        """
+        n = self._max_bin + 1
+        offered = np.zeros(n)
+        served = np.zeros(n)
+        dropped = np.zeros(n)
+        flushed = min(len(record.offered_by_bin), n)
+        offered[:flushed] = record.offered_by_bin[:flushed]
+        served[:flushed] = record.served_by_bin[:flushed]
+        dropped[:flushed] = record.dropped_by_bin[:flushed]
+        current = self._link_bin
+        if current < n:
+            source = record.source
+            offered[current] += source.total_offered - record.prev_offered
+            served[current] += source.total_served - record.prev_served
+            dropped[current] += source.total_dropped - record.prev_dropped
+        return offered, served, dropped
 
     def _per_tick_mean(self, sums: np.ndarray
                        ) -> Tuple[np.ndarray, np.ndarray]:

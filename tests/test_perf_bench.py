@@ -93,8 +93,8 @@ class TestReport:
                 "ticks_per_sec", "flows"} <= set(stats)
 
     def test_tracked_scenarios_exist(self):
-        assert {"cruise", "contention16", "fig09_wan"} <= \
-            set(perf_engine.SCENARIOS)
+        assert {"cruise", "contention16", "fig09_wan", "fig09_fluid",
+                "fig09_fluid100k"} <= set(perf_engine.SCENARIOS)
 
     def test_run_scenarios_keeps_fastest_repeat(self, monkeypatch, capsys):
         calls = iter([3.0, 1.0, 2.0])
@@ -105,3 +105,52 @@ class TestReport:
         monkeypatch.setitem(perf_engine.SCENARIOS, "fake", fake_scenario)
         results = perf_engine.run_scenarios(["fake"], repeat=3)
         assert results["fake"]["seconds"] == pytest.approx(1.0)
+
+
+class TestProvenance:
+    def test_dirty_baseline_warns_on_check(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        report = {"schema": perf_engine.SCHEMA, "bench": "engine",
+                  "git_commit": "a" * 40 + "-dirty",
+                  "scenarios": {"cruise": _stats(1.0)}}
+        baseline.write_text(json.dumps(report))
+        code = perf_engine.check_against_baseline(
+            {"cruise": _stats(1.0)}, str(baseline), threshold=2.0)
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "dirty working tree" in err
+
+    def test_clean_baseline_does_not_warn(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        report = {"schema": perf_engine.SCHEMA, "bench": "engine",
+                  "git_commit": "a" * 40,
+                  "scenarios": {"cruise": _stats(1.0)}}
+        baseline.write_text(json.dumps(report))
+        assert perf_engine.check_against_baseline(
+            {"cruise": _stats(1.0)}, str(baseline), threshold=2.0) == 0
+        assert "dirty" not in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    """Contracts on the BENCH_engine.json actually checked in."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        return json.loads((_ROOT / "BENCH_engine.json").read_text())
+
+    def test_provenance_is_a_clean_commit(self, committed):
+        commit = committed["git_commit"]
+        assert commit is not None, "baseline recorded outside git"
+        assert re.fullmatch(r"[0-9a-f]{40}", commit), \
+            f"baseline provenance is not a clean commit: {commit}"
+
+    def test_fluid_cost_near_constant_in_flow_count(self, committed):
+        """The tentpole's headline: 100k flows within 1.3x of ~2.5k flows."""
+        scenarios = committed["scenarios"]
+        small = scenarios["fig09_fluid"]
+        large = scenarios["fig09_fluid100k"]
+        assert large["seconds"] <= 1.3 * small["seconds"], (
+            f"fluid aggregate cost scales with flow count: "
+            f"{small['seconds']:.2f}s -> {large['seconds']:.2f}s")
+        # And the two runs really differ by ~40x in represented flows.
+        assert large["cross_flows"] > 30 * small["cross_flows"]
